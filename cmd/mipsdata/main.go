@@ -1,0 +1,88 @@
+// Command mipsdata generates and inspects the synthetic reference models.
+//
+// Usage:
+//
+//	mipsdata gen  -model netflix-dsgd-50 -scale 0.25 -dir ./data
+//	mipsdata info -model netflix-dsgd-50 -scale 0.25
+//	mipsdata list
+//
+// gen writes <dir>/<model>.users.omx and <dir>/<model>.items.omx in the OMX1
+// binary format readable by optimus.ReadMatrix and by cmd/mipsquery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"optimus/internal/dataset"
+	"optimus/internal/mat"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	model := fs.String("model", "", "registry model name (see: mipsdata list)")
+	scale := fs.Float64("scale", 0.25, "dataset scale multiplier")
+	seed := fs.Int64("seed", 0, "additional seed offset")
+	dir := fs.String("dir", ".", "output directory (gen)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "list":
+		for _, name := range dataset.Names() {
+			fmt.Println(name)
+		}
+	case "info", "gen":
+		if *model == "" {
+			fmt.Fprintln(os.Stderr, "mipsdata: -model is required")
+			os.Exit(2)
+		}
+		cfg, err := dataset.ByName(*model)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = cfg.Scale(*scale)
+		cfg.Seed += *seed
+		m, err := dataset.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model=%s users=%d items=%d factors=%d normSkew=%.2f\n",
+			cfg.Name, m.Users.Rows(), m.Items.Rows(), cfg.Factors, m.NormSkew())
+		if cmd == "gen" {
+			upath := filepath.Join(*dir, cfg.Name+".users.omx")
+			ipath := filepath.Join(*dir, cfg.Name+".items.omx")
+			if err := mat.WriteBinaryFile(upath, m.Users); err != nil {
+				fatal(err)
+			}
+			if err := mat.WriteBinaryFile(ipath, m.Items); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s and %s\n", upath, ipath)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mipsdata <list|info|gen> [flags]")
+	names := dataset.Names()
+	sort.Strings(names)
+	fmt.Fprintln(os.Stderr, "models:", names)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mipsdata:", err)
+	os.Exit(1)
+}

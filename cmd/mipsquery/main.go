@@ -1,0 +1,158 @@
+// Command mipsquery answers batch top-K MIPS queries over matrices on disk
+// using any solver in the repository, or the OPTIMUS optimizer.
+//
+// Usage:
+//
+//	mipsquery -users u.omx -items i.omx -k 10 -solver optimus
+//	mipsquery -users u.csv -items i.csv -k 5 -solver maximus -user 42
+//
+// Matrix files may be OMX1 binary (.omx) or CSV (anything else). With -user
+// it prints one user's ranking; otherwise it prints a summary and, with
+// -out, writes all results as CSV rows "user,rank,item,score".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"optimus/internal/core"
+	"optimus/internal/fexipro"
+	"optimus/internal/lemp"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/topk"
+)
+
+func main() {
+	var (
+		usersPath = flag.String("users", "", "user matrix file (OMX1 .omx or CSV)")
+		itemsPath = flag.String("items", "", "item matrix file (OMX1 .omx or CSV)")
+		k         = flag.Int("k", 10, "top-K depth")
+		solver    = flag.String("solver", "optimus", "bmm | maximus | lemp | fexipro-si | fexipro-sir | naive | optimus")
+		user      = flag.Int("user", -1, "answer a single user id (default: all users)")
+		threads   = flag.Int("threads", 1, "solver threads")
+		outPath   = flag.String("out", "", "write all results as CSV to this path")
+		seed      = flag.Int64("seed", 1, "seed for clustering/sampling")
+	)
+	flag.Parse()
+	if *usersPath == "" || *itemsPath == "" {
+		fmt.Fprintln(os.Stderr, "mipsquery: -users and -items are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	users, err := readMatrix(*usersPath)
+	if err != nil {
+		fatal(err)
+	}
+	items, err := readMatrix(*itemsPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var results [][]topk.Entry
+	start := time.Now()
+	if *solver == "optimus" {
+		opt := core.NewOptimus(core.OptimusConfig{Seed: *seed, Threads: *threads},
+			core.NewMaximus(core.MaximusConfig{Seed: *seed, Threads: *threads}),
+			lemp.New(lemp.Config{Seed: *seed, Threads: *threads}))
+		dec, res, err := opt.Run(users, items, *k)
+		if err != nil {
+			fatal(err)
+		}
+		results = res
+		fmt.Printf("optimus chose %s (sample %d users, overhead %v)\n",
+			dec.Winner, dec.SampleSize, dec.Overhead.Round(time.Microsecond))
+		for _, e := range dec.Estimates {
+			fmt.Printf("  estimate %-12s total=%v build=%v examined=%d\n",
+				e.Solver, e.Total.Round(time.Microsecond), e.BuildTime.Round(time.Microsecond), e.Examined)
+		}
+	} else {
+		s, err := newSolver(*solver, *threads, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Build(users, items); err != nil {
+			fatal(err)
+		}
+		results, err = s.QueryAll(*k)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("solved top-%d for %d users x %d items (f=%d) in %v\n",
+		*k, users.Rows(), items.Rows(), users.Cols(), elapsed.Round(time.Millisecond))
+
+	if *user >= 0 {
+		if *user >= len(results) {
+			fatal(fmt.Errorf("user %d out of range [0,%d)", *user, len(results)))
+		}
+		for rank, e := range results[*user] {
+			fmt.Printf("%2d. item %-8d score %.6f\n", rank+1, e.Item, e.Score)
+		}
+	}
+	if *outPath != "" {
+		if err := writeResults(*outPath, results); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *outPath)
+	}
+}
+
+func newSolver(name string, threads int, seed int64) (mips.Solver, error) {
+	switch strings.ToLower(name) {
+	case "bmm":
+		return core.NewBMM(core.BMMConfig{Threads: threads}), nil
+	case "maximus":
+		return core.NewMaximus(core.MaximusConfig{Threads: threads, Seed: seed}), nil
+	case "lemp":
+		return lemp.New(lemp.Config{Threads: threads, Seed: seed}), nil
+	case "fexipro-si":
+		return fexipro.New(fexipro.Config{Variant: fexipro.SI, Threads: threads}), nil
+	case "fexipro-sir":
+		return fexipro.New(fexipro.Config{Variant: fexipro.SIR, Threads: threads}), nil
+	case "naive":
+		return mips.NewNaive(), nil
+	default:
+		return nil, fmt.Errorf("unknown solver %q", name)
+	}
+}
+
+func readMatrix(path string) (*mat.Matrix, error) {
+	if strings.HasSuffix(path, ".omx") {
+		return mat.ReadBinaryFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mat.ReadCSV(f)
+}
+
+func writeResults(path string, results [][]topk.Entry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for u, entries := range results {
+		for rank, e := range entries {
+			fmt.Fprintf(w, "%d,%d,%d,%.17g\n", u, rank+1, e.Item, e.Score)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mipsquery:", err)
+	os.Exit(1)
+}

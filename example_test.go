@@ -1,0 +1,67 @@
+package optimus_test
+
+import (
+	"fmt"
+
+	"optimus"
+)
+
+// The full OPTIMUS pipeline: generate (or load) a model, let the optimizer
+// pick a strategy, and read exact rankings.
+func ExampleNewOptimus() {
+	cfg, _ := optimus.DatasetByName("netflix-dsgd-10")
+	ds, _ := optimus.GenerateDataset(cfg.Scale(0.02))
+
+	opt := optimus.NewOptimus(optimus.OptimusConfig{Seed: 1},
+		optimus.NewMaximus(optimus.MaximusConfig{Seed: 1}))
+	_, results, err := opt.Run(ds.Users, ds.Items, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("users answered:", len(results))
+	fmt.Println("entries per user:", len(results[0]))
+	// Output:
+	// users answered: 96
+	// entries per user: 3
+}
+
+// Any solver can be used standalone through the shared Solver interface.
+func ExampleNewMaximus() {
+	users, _ := optimus.MatrixFromRows([][]float64{
+		{1, 0},
+		{0.9, 0.1},
+	})
+	items, _ := optimus.MatrixFromRows([][]float64{
+		{0.1, 2.0}, // strong second coordinate: wrong direction for user 0
+		{2.0, 0.1}, // aligned with user 0
+		{0.5, 0.5},
+	})
+	idx := optimus.NewMaximus(optimus.MaximusConfig{Seed: 1})
+	if err := idx.Build(users, items); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, _ := idx.QueryAll(1)
+	fmt.Println("user 0 best item:", res[0][0].Item)
+	fmt.Println("user 1 best item:", res[1][0].Item)
+	// Output:
+	// user 0 best item: 1
+	// user 1 best item: 1
+}
+
+// Results can always be verified against a brute-force check.
+func ExampleVerifyAll() {
+	cfg, _ := optimus.DatasetByName("glove-50")
+	ds, _ := optimus.GenerateDataset(cfg.Scale(0.01))
+
+	lemp := optimus.NewLEMP(optimus.LEMPConfig{})
+	if err := lemp.Build(ds.Users, ds.Items); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, _ := lemp.QueryAll(5)
+	fmt.Println("exact:", optimus.VerifyAll(ds.Users, ds.Items, res, 5, 1e-9) == nil)
+	// Output:
+	// exact: true
+}

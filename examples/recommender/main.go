@@ -1,0 +1,101 @@
+// Recommender: the Fig 1 scenario — serving top-K movie recommendations for
+// every user of a matrix-factorization model, comparing all the solvers the
+// paper studies head-to-head on two regimes:
+//
+//   - a Netflix-like model (mild item-norm skew, diffuse users), where
+//     hardware-efficient brute force tends to win; and
+//   - an R2-like model (heavy skew, tight user clusters), where the pruning
+//     indexes win.
+//
+// This is the paper's core observation in miniature: no single strategy is
+// best for both, and OPTIMUS picks the right one per model.
+//
+// Run with: go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"optimus"
+)
+
+const k = 10
+
+func main() {
+	for _, model := range []string{"netflix-dsgd-50", "r2-nomad-50"} {
+		cfg, err := optimus.DatasetByName(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := optimus.GenerateDataset(cfg.Scale(0.35))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s: %d users x %d items, f=%d ==\n",
+			model, ds.Users.Rows(), ds.Items.Rows(), cfg.Factors)
+
+		solvers := []optimus.Solver{
+			optimus.NewBMM(optimus.BMMConfig{}),
+			optimus.NewMaximus(optimus.MaximusConfig{Seed: 1}),
+			optimus.NewLEMP(optimus.LEMPConfig{Seed: 1}),
+			optimus.NewFexipro(optimus.FexiproConfig{Variant: optimus.FexiproSI}),
+		}
+		var firstResults [][]optimus.Entry
+		for _, s := range solvers {
+			start := time.Now()
+			if err := s.Build(ds.Users, ds.Items); err != nil {
+				log.Fatal(err)
+			}
+			res, err := s.QueryAll(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s %8.1fms\n", s.Name(), time.Since(start).Seconds()*1000)
+			if firstResults == nil {
+				firstResults = res
+			} else if err := agree(firstResults, res); err != nil {
+				log.Fatalf("%s disagrees with BMM: %v", s.Name(), err)
+			}
+		}
+
+		// Now let OPTIMUS choose automatically.
+		opt := optimus.NewOptimus(optimus.OptimusConfig{Seed: 2},
+			optimus.NewMaximus(optimus.MaximusConfig{Seed: 2}))
+		dec, _, err := opt.Run(ds.Users, ds.Items, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  OPTIMUS chose %s\n\n", dec.Winner)
+	}
+}
+
+// agree checks that two result sets rank the same scores (items may swap
+// among exact floating-point ties across solvers).
+func agree(a, b [][]optimus.Entry) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for u := range a {
+		for r := range a[u] {
+			da := a[u][r].Score
+			db := b[u][r].Score
+			diff := da - db
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-8*(1+abs(da)) {
+				return fmt.Errorf("user %d rank %d: score %v vs %v", u, r, da, db)
+			}
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,258 @@
+package optimus
+
+// Cross-module integration tests: every solver, every dataset regime, one
+// agreement matrix. These are the tests a downstream adopter would trust
+// before swapping solvers in production.
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+// allSolvers builds one of each exact solver through the public facade.
+func allSolvers() []Solver {
+	return []Solver{
+		NewBMM(BMMConfig{}),
+		NewMaximus(MaximusConfig{Seed: 9}),
+		NewMaximus(MaximusConfig{Seed: 9, DisableItemBlocking: true}),
+		NewLEMP(LEMPConfig{Seed: 9}),
+		NewFexipro(FexiproConfig{Variant: FexiproSI}),
+		NewFexipro(FexiproConfig{Variant: FexiproSIR}),
+		NewConeTree(ConeTreeConfig{}),
+		NewNaive(),
+	}
+}
+
+// TestAllSolversAgreeOnEveryRegime runs the full solver set over one model
+// per dataset family and checks that all of them return score-identical
+// exact rankings.
+func TestAllSolversAgreeOnEveryRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix is not short")
+	}
+	models := []string{
+		"netflix-dsgd-50", "netflix-nomad-25", "netflix-bpr-25",
+		"r2-nomad-25", "kdd-nomad-25", "kdd-ref-51", "glove-50",
+	}
+	const k = 7
+	for _, name := range models {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg, err := DatasetByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := GenerateDataset(cfg.Scale(0.05))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var reference [][]Entry
+			for _, s := range allSolvers() {
+				if err := s.Build(ds.Users, ds.Items); err != nil {
+					t.Fatalf("%s: %v", s.Name(), err)
+				}
+				res, err := s.QueryAll(k)
+				if err != nil {
+					t.Fatalf("%s: %v", s.Name(), err)
+				}
+				if err := VerifyAll(ds.Users, ds.Items, res, k, 1e-8); err != nil {
+					t.Fatalf("%s: %v", s.Name(), err)
+				}
+				if reference == nil {
+					reference = res
+					continue
+				}
+				for u := range reference {
+					for r := range reference[u] {
+						a, b := reference[u][r].Score, res[u][r].Score
+						if math.Abs(a-b) > 1e-8*(1+math.Abs(a)) {
+							t.Fatalf("%s: user %d rank %d score %v, reference %v",
+								s.Name(), u, r, b, a)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentQueriesOnSharedIndex pins the "read-only after Build, safe
+// for concurrent queries" contract for every index — including LEMP, whose
+// lazy per-K tuning is the one mutable-after-Build structure (guarded by a
+// mutex). Run with -race to make this meaningful.
+func TestConcurrentQueriesOnSharedIndex(t *testing.T) {
+	cfg, err := DatasetByName("r2-nomad-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateDataset(cfg.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range allSolvers() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			if err := s.Build(ds.Users, ds.Items); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					// Different goroutines use different K so LEMP's tuning
+					// cache is written concurrently.
+					k := 1 + g%4
+					ids := []int{g % ds.Users.Rows(), (g * 7) % ds.Users.Rows()}
+					res, err := s.Query(ids, k)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i, u := range ids {
+						if err := VerifyTopK(ds.Users.Row(u), ds.Items, res[i], k, 1e-8); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOptimusAgainstEveryIndex runs the optimizer with each index type as
+// its candidate and checks the final batch answers stay exact regardless of
+// which side wins.
+func TestOptimusAgainstEveryIndex(t *testing.T) {
+	cfg, err := DatasetByName("netflix-nomad-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateDataset(cfg.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexes := []Solver{
+		NewMaximus(MaximusConfig{Seed: 3}),
+		NewLEMP(LEMPConfig{Seed: 3}),
+		NewFexipro(FexiproConfig{Variant: FexiproSI}),
+		NewFexipro(FexiproConfig{Variant: FexiproSIR}),
+		NewConeTree(ConeTreeConfig{}),
+	}
+	for _, idx := range indexes {
+		idx := idx
+		t.Run(idx.Name(), func(t *testing.T) {
+			opt := NewOptimus(OptimusConfig{
+				SampleFraction: 0.1, L2CacheBytes: 1 << 10, Seed: 4,
+			}, idx)
+			dec, res, err := opt.Run(ds.Users, ds.Items, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyAll(ds.Users, ds.Items, res, 4, 1e-8); err != nil {
+				t.Fatalf("winner %s: %v", dec.Winner, err)
+			}
+		})
+	}
+}
+
+// TestDatasetRegimesDriveOptimusDecisions is the end-to-end story of the
+// paper: BMM-regime models should steer OPTIMUS to BMM, index-regime models
+// to the index, through the public API alone.
+func TestDatasetRegimesDriveOptimusDecisions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("decision test is not short")
+	}
+	// The index-friendly case comes from the registry (kdd regime, ~10×
+	// margin). The BMM-friendly case is an explicit unprunable config —
+	// isotropic users, flat norms — because the registry's Netflix margins
+	// are deliberately thin (that is the paper's point) and too close to
+	// assert on under timing noise.
+	unprunable := DatasetConfig{
+		Name: "unprunable", Users: 1500, Items: 1200, Factors: 32,
+		TrueClusters: 4, UserSpread: 2.0, NormSigma: 0.01, ItemAlign: 0, Seed: 42,
+	}
+	kdd, err := DatasetByName("kdd-nomad-25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		cfg    DatasetConfig
+		expect string
+	}{
+		{unprunable, "BMM"},
+		{kdd.Scale(0.25), "MAXIMUS"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.cfg.Name, func(t *testing.T) {
+			ds, err := GenerateDataset(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := NewOptimus(OptimusConfig{
+				SampleFraction: 0.05, L2CacheBytes: 8 << 10, Seed: 5,
+			}, NewMaximus(MaximusConfig{Seed: 5}))
+			dec, res, err := opt.Run(ds.Users, ds.Items, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Winner != tc.expect {
+				bmm, _ := dec.EstimateFor("BMM")
+				mx, _ := dec.EstimateFor("MAXIMUS")
+				t.Fatalf("winner %s, want %s (BMM est %v, MAXIMUS est %v)",
+					dec.Winner, tc.expect, bmm.Total, mx.Total)
+			}
+			if err := VerifyAll(ds.Users, ds.Items, res, 1, 1e-9); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestServerOverOptimusChoice wires the serving layer over whichever solver
+// OPTIMUS picks — the full production composition.
+func TestServerOverOptimusChoice(t *testing.T) {
+	cfg, err := DatasetByName("r2-nomad-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateDataset(cfg.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewMaximus(MaximusConfig{Seed: 6})
+	opt := NewOptimus(OptimusConfig{SampleFraction: 0.1, L2CacheBytes: 1 << 10, Seed: 6}, idx)
+	dec, _, err := opt.Run(ds.Users, ds.Items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chosen Solver = NewBMM(BMMConfig{})
+	if dec.Winner == "MAXIMUS" {
+		chosen = idx
+	}
+	if err := chosen.Build(ds.Users, ds.Items); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(chosen, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := srv.Query(context.Background(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTopK(ds.Users.Row(0), ds.Items, res, 3, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"time"
+
+	"optimus/internal/conetree"
+	"optimus/internal/core"
+)
+
+// AblationConeTree reproduces the related-work comparison §VI cites: cone
+// trees (Ram & Gray, KDD 2012) are exact and prune, but Teflioudi et al.
+// showed them slower than LEMP on recommendation models. The experiment runs
+// the cone tree head-to-head against LEMP, MAXIMUS, and BMM.
+func (r *Runner) AblationConeTree() error {
+	r.printf("== Ablation: cone tree vs LEMP/MAXIMUS/BMM (K=1, end-to-end) ==\n")
+	r.printf("%-20s %10s %10s %10s %10s %12s\n",
+		"model", "ConeTree", "LEMP", "MAXIMUS", "BMM", "LEMP/Cone")
+	for _, name := range r.modelsOrDefault([]string{"netflix-nomad-50", "r2-nomad-50", "kdd-nomad-25"}) {
+		m, err := r.generate(name)
+		if err != nil {
+			return err
+		}
+		times := make(map[string]time.Duration)
+		cone := conetree.New(conetree.Config{Threads: r.opt.Threads})
+		tm, err := r.measure(cone, m, 1)
+		if err != nil {
+			return err
+		}
+		times["ConeTree"] = tm.Total()
+		for _, sn := range []string{"LEMP", "MAXIMUS", "BMM"} {
+			s := r.newSolver(sn)
+			tm, err := r.measure(s, m, 1)
+			if err != nil {
+				return err
+			}
+			times[sn] = tm.Total()
+		}
+		r.printf("%-20s %8sms %8sms %8sms %8sms %12s\n",
+			name, ms(times["ConeTree"]), ms(times["LEMP"]), ms(times["MAXIMUS"]),
+			ms(times["BMM"]), ratio(times["LEMP"], times["ConeTree"]))
+	}
+	return nil
+}
+
+// AblationApprox quantifies the exactness-vs-speed trade behind the paper's
+// §II-A positioning: the Koenigstein approximate mode (serve each user its
+// cluster centroid's top-K) against MAXIMUS's exact walk, with recall.
+func (r *Runner) AblationApprox() error {
+	r.printf("== Ablation: exact MAXIMUS vs Koenigstein approximate mode (K=10) ==\n")
+	r.printf("%-20s %12s %12s %9s %9s\n", "model", "exact", "approx", "speedup", "recall")
+	for _, name := range r.modelsOrDefault([]string{"netflix-nomad-50", "r2-nomad-50"}) {
+		m, err := r.generate(name)
+		if err != nil {
+			return err
+		}
+		mx := core.NewMaximus(core.MaximusConfig{Seed: r.opt.Seed + 7, Threads: r.opt.Threads})
+		if err := mx.Build(m.Users, m.Items); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		exact, err := mx.QueryAll(10)
+		if err != nil {
+			return err
+		}
+		exactTime := time.Since(t0)
+		t1 := time.Now()
+		approx, err := mx.ApproxQueryAll(10)
+		if err != nil {
+			return err
+		}
+		approxTime := time.Since(t1)
+		recall, err := core.Recall(exact, approx)
+		if err != nil {
+			return err
+		}
+		r.printf("%-20s %10sms %10sms %9s %8.1f%%\n",
+			name, ms(exactTime), ms(approxTime), ratio(exactTime, approxTime), recall*100)
+	}
+	return nil
+}

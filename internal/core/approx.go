@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"optimus/internal/blas"
+	"optimus/internal/mips"
+	"optimus/internal/topk"
+)
+
+// Approximate retrieval (§II-C / §VI). MAXIMUS descends from Koenigstein et
+// al. (CIKM 2012), who used the user-clustering bound for *approximate*
+// top-K: serve every user the top-K of its cluster's centroid ranking,
+// skipping the per-user walk entirely. The paper turns that bound into an
+// exact index; this file keeps the original approximate mode available —
+// it is the natural "how much does exactness cost?" comparison point, and
+// the ablation-approx experiment quantifies the recall/speedup trade the
+// paper's exactness argument (§II-A) is about.
+
+// ApproxQueryAll returns, for each user, the cluster centroid's top-k items
+// re-scored with the user's own vector (so scores are true inner products,
+// but the *candidate set* is the centroid's, not the user's — items outside
+// the centroid's top-k are never considered). This is the Koenigstein
+// serving scheme; results are approximate whenever a user's true top-k
+// differs from its cluster's.
+func (m *Maximus) ApproxQueryAll(k int) ([][]topk.Entry, error) {
+	if m.lists == nil {
+		return nil, fmt.Errorf("core: ApproxQueryAll before Build")
+	}
+	if err := mips.ValidateK(k, m.items.Rows()); err != nil {
+		return nil, err
+	}
+	nClusters := m.centroids.Rows()
+	// Per-cluster candidate set: the centroid's top-k by true centroid
+	// score cᵀi (not the distortion bound — matching the original method).
+	candidates := make([][]int, nClusters)
+	parallelFor(nClusters, m.cfg.Threads, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if len(m.members[c]) == 0 {
+				continue
+			}
+			h := topk.New(k)
+			crow := m.centroids.Row(c)
+			for i := 0; i < m.items.Rows(); i++ {
+				h.Push(i, blas.Dot(crow, m.items.Row(i)))
+			}
+			top := h.Sorted()
+			ids := make([]int, len(top))
+			for j, e := range top {
+				ids[j] = e.Item
+			}
+			candidates[c] = ids
+		}
+	})
+
+	out := make([][]topk.Entry, m.users.Rows())
+	parallelFor(m.users.Rows(), m.cfg.Threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			cand := candidates[m.clusterOf[u]]
+			h := topk.New(k)
+			urow := m.users.Row(u)
+			for _, i := range cand {
+				h.Push(i, blas.Dot(urow, m.items.Row(i)))
+			}
+			out[u] = h.Sorted()
+		}
+	})
+	return out, nil
+}
+
+// Recall computes the mean fraction of the exact top-k item sets that the
+// approximate results recovered — the accuracy metric the approximate-MIPS
+// literature reports. Both slices must be indexed by user.
+func Recall(exact, approx [][]topk.Entry) (float64, error) {
+	if len(exact) != len(approx) {
+		return 0, fmt.Errorf("core: recall over %d exact vs %d approximate users", len(exact), len(approx))
+	}
+	if len(exact) == 0 {
+		return 0, fmt.Errorf("core: recall over no users")
+	}
+	var total float64
+	for u := range exact {
+		if len(exact[u]) == 0 {
+			return 0, fmt.Errorf("core: user %d has empty exact results", u)
+		}
+		truth := make(map[int]bool, len(exact[u]))
+		for _, e := range exact[u] {
+			truth[e.Item] = true
+		}
+		hit := 0
+		for _, e := range approx[u] {
+			if truth[e.Item] {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(exact[u]))
+	}
+	return total / float64(len(exact)), nil
+}

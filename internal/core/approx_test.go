@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"optimus/internal/mat"
+	"optimus/internal/topk"
+)
+
+func TestApproxValidation(t *testing.T) {
+	m := NewMaximus(MaximusConfig{})
+	if _, err := m.ApproxQueryAll(1); err == nil {
+		t.Fatal("expected before-Build error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	users, items := testModel(rng, 10, 20, 4)
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ApproxQueryAll(0); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, err := m.ApproxQueryAll(21); err == nil {
+		t.Fatal("expected k>|I| error")
+	}
+}
+
+func TestApproxScoresAreTrue(t *testing.T) {
+	// Approximate results may miss items, but every reported score must be
+	// the user's true inner product (the method re-scores candidates).
+	rng := rand.New(rand.NewSource(2))
+	users, items := testModel(rng, 30, 50, 6)
+	m := NewMaximus(MaximusConfig{Seed: 1})
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.ApproxQueryAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, entries := range res {
+		if len(entries) != 5 {
+			t.Fatalf("user %d: %d entries", u, len(entries))
+		}
+		for _, e := range entries {
+			truth := mat.Dot(users.Row(u), items.Row(e.Item))
+			if d := truth - e.Score; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("user %d item %d: reported %v, true %v", u, e.Item, e.Score, truth)
+			}
+		}
+	}
+}
+
+func TestApproxRecallImprovesWithTighterClusters(t *testing.T) {
+	// The Koenigstein approximation is good exactly when users sit close to
+	// their centroids: recall(tight) must beat recall(loose).
+	recallFor := func(spread float64) float64 {
+		rng := rand.New(rand.NewSource(3))
+		nUsers, nItems, dim := 200, 300, 8
+		centers := mat.New(4, dim)
+		for i := range centers.Data() {
+			centers.Data()[i] = rng.NormFloat64()
+		}
+		users := mat.New(nUsers, dim)
+		for i := 0; i < nUsers; i++ {
+			c := centers.Row(i % 4)
+			row := users.Row(i)
+			for j := 0; j < dim; j++ {
+				row[j] = c[j] + rng.NormFloat64()*spread
+			}
+		}
+		items := mat.New(nItems, dim)
+		for i := range items.Data() {
+			items.Data()[i] = rng.NormFloat64()
+		}
+		m := NewMaximus(MaximusConfig{Clusters: 4, Seed: 2})
+		if err := m.Build(users, items); err != nil {
+			t.Fatal(err)
+		}
+		exact, err := m.QueryAll(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := m.ApproxQueryAll(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Recall(exact, approx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	tight := recallFor(0.01)
+	loose := recallFor(1.5)
+	if tight <= loose {
+		t.Fatalf("recall(tight)=%v should exceed recall(loose)=%v", tight, loose)
+	}
+	if tight < 0.9 {
+		t.Fatalf("near-degenerate clusters should give recall >= 0.9, got %v", tight)
+	}
+}
+
+func TestRecallEdgeCases(t *testing.T) {
+	a := [][]topk.Entry{{{Item: 1, Score: 1}, {Item: 2, Score: 0.5}}}
+	b := [][]topk.Entry{{{Item: 1, Score: 1}, {Item: 9, Score: 0.1}}}
+	r, err := Recall(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0.5 {
+		t.Fatalf("Recall = %v, want 0.5", r)
+	}
+	if _, err := Recall(a, nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := Recall(nil, nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := Recall([][]topk.Entry{{}}, [][]topk.Entry{{}}); err == nil {
+		t.Fatal("expected empty-user error")
+	}
+	perfect, err := Recall(a, a)
+	if err != nil || perfect != 1 {
+		t.Fatalf("self recall = %v, %v", perfect, err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package core implements the paper's contribution: the hardware-efficient
+// brute-force solver BMM (§II-B), the MAXIMUS index (§III), and the OPTIMUS
+// online optimizer that chooses between them and third-party indexes (§IV).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"optimus/internal/blas"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/topk"
+)
+
+// BMMConfig controls the blocked-matrix-multiply solver.
+type BMMConfig struct {
+	// Threads parallelizes both the GEMM and the top-K harvest.
+	Threads int
+	// SlabBytes bounds the size of one scores slab (users-batch × |I| × 8
+	// bytes). The paper computes "ratings for users in a series of batches
+	// that each occupy the entirety of memory"; we default to 64 MiB so the
+	// working set stays cache-and-RAM friendly at repo scale.
+	SlabBytes int
+}
+
+// DefaultBMMConfig returns the defaults described above.
+func DefaultBMMConfig() BMMConfig { return BMMConfig{Threads: 1, SlabBytes: 64 << 20} }
+
+// BMM is the blocked matrix multiply brute-force solver: one GemmNT per user
+// slab followed by per-row heap selection. No pruning, maximal hardware
+// efficiency — the strategy §II-B shows can beat the indexes outright.
+type BMM struct {
+	cfg   BMMConfig
+	users *mat.Matrix
+	items *mat.Matrix
+}
+
+// BMMStats reports where a query's time went, for the offline cost model
+// validation (§IV-A): the GEMM stage is analytically predictable, the heap
+// harvest is data-dependent.
+type BMMStats struct {
+	GemmTime    time.Duration
+	HarvestTime time.Duration
+}
+
+// NewBMM returns an unbuilt BMM solver. Zero-valued config fields fall back
+// to defaults.
+func NewBMM(cfg BMMConfig) *BMM {
+	def := DefaultBMMConfig()
+	if cfg.Threads <= 0 {
+		cfg.Threads = def.Threads
+	}
+	if cfg.SlabBytes <= 0 {
+		cfg.SlabBytes = def.SlabBytes
+	}
+	return &BMM{cfg: cfg}
+}
+
+// Name implements mips.Solver.
+func (b *BMM) Name() string { return "BMM" }
+
+// Batches implements mips.Solver: BMM's entire advantage is batching.
+func (b *BMM) Batches() bool { return true }
+
+// Build implements mips.Solver. BMM has no index; Build only validates and
+// retains the inputs — the asymmetry (free construction, expensive traversal)
+// that OPTIMUS's design exploits.
+func (b *BMM) Build(users, items *mat.Matrix) error {
+	if err := mips.ValidateInputs(users, items); err != nil {
+		return err
+	}
+	b.users, b.items = users, items
+	return nil
+}
+
+// Query implements mips.Solver.
+func (b *BMM) Query(userIDs []int, k int) ([][]topk.Entry, error) {
+	res, _, err := b.QueryStats(userIDs, k)
+	return res, err
+}
+
+// QueryStats is Query with a stage-time breakdown.
+func (b *BMM) QueryStats(userIDs []int, k int) ([][]topk.Entry, BMMStats, error) {
+	var st BMMStats
+	if b.users == nil {
+		return nil, st, fmt.Errorf("core: BMM Query before Build")
+	}
+	if err := mips.ValidateK(k, b.items.Rows()); err != nil {
+		return nil, st, err
+	}
+	for _, u := range userIDs {
+		if u < 0 || u >= b.users.Rows() {
+			return nil, st, fmt.Errorf("core: user id %d out of range [0,%d)", u, b.users.Rows())
+		}
+	}
+	selected := b.users.SelectRows(userIDs)
+	out := make([][]topk.Entry, len(userIDs))
+	err := b.process(selected, out, k, &st)
+	return out, st, err
+}
+
+// QueryAll implements mips.Solver. It avoids the row-copy that Query's
+// arbitrary id list requires.
+func (b *BMM) QueryAll(k int) ([][]topk.Entry, error) {
+	if b.users == nil {
+		return nil, fmt.Errorf("core: BMM QueryAll before Build")
+	}
+	if err := mips.ValidateK(k, b.items.Rows()); err != nil {
+		return nil, err
+	}
+	out := make([][]topk.Entry, b.users.Rows())
+	var st BMMStats
+	return out, b.process(b.users, out, k, &st)
+}
+
+// process scores the rows of `queries` against all items slab-by-slab,
+// harvesting top-k rows into out.
+func (b *BMM) process(queries *mat.Matrix, out [][]topk.Entry, k int, st *BMMStats) error {
+	m := queries.Rows()
+	n := b.items.Rows()
+	slabRows := b.cfg.SlabBytes / (8 * n)
+	if slabRows < 1 {
+		slabRows = 1
+	}
+	if slabRows > m {
+		slabRows = m
+	}
+	scores := mat.New(slabRows, n)
+	for lo := 0; lo < m; lo += slabRows {
+		hi := lo + slabRows
+		if hi > m {
+			hi = m
+		}
+		slab := scores.RowSlice(0, hi-lo)
+		t0 := time.Now()
+		blas.GemmNTParallel(queries.RowSlice(lo, hi), b.items, slab, b.cfg.Threads)
+		t1 := time.Now()
+		st.GemmTime += t1.Sub(t0)
+		harvest(slab, out[lo:hi], k, b.cfg.Threads)
+		st.HarvestTime += time.Since(t1)
+	}
+	return nil
+}
+
+// harvest extracts top-k from every row of a scores slab, in parallel.
+func harvest(scores *mat.Matrix, out [][]topk.Entry, k, threads int) {
+	parallelFor(scores.Rows(), threads, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			out[r] = topk.SelectRow(scores.Row(r), 0, k)
+		}
+	})
+}

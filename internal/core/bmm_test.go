@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/topk"
+)
+
+// testModel builds inputs with log-normal item-norm skew and mildly
+// clustered users, the regime where both BMM and the indexes are exercised.
+func testModel(rng *rand.Rand, nUsers, nItems, f int) (*mat.Matrix, *mat.Matrix) {
+	centers := mat.New(4, f)
+	for i := range centers.Data() {
+		centers.Data()[i] = rng.NormFloat64()
+	}
+	users := mat.New(nUsers, f)
+	for i := 0; i < nUsers; i++ {
+		c := centers.Row(i % 4)
+		row := users.Row(i)
+		for j := 0; j < f; j++ {
+			row[j] = c[j] + rng.NormFloat64()*0.3
+		}
+	}
+	items := mat.New(nItems, f)
+	for i := 0; i < nItems; i++ {
+		scale := math.Exp(rng.NormFloat64())
+		row := items.Row(i)
+		for j := 0; j < f; j++ {
+			row[j] = rng.NormFloat64() * scale
+		}
+	}
+	return users, items
+}
+
+func TestBMMValidation(t *testing.T) {
+	b := NewBMM(BMMConfig{})
+	if err := b.Build(nil, nil); err == nil {
+		t.Fatal("expected nil-input error")
+	}
+	if _, err := b.Query([]int{0}, 1); err == nil {
+		t.Fatal("expected query-before-build error")
+	}
+	if _, err := b.QueryAll(1); err == nil {
+		t.Fatal("expected queryall-before-build error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	users, items := testModel(rng, 5, 10, 4)
+	if err := b.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.QueryAll(0); err == nil {
+		t.Fatal("expected k=0 error")
+	}
+	if _, err := b.QueryAll(11); err == nil {
+		t.Fatal("expected k>|I| error")
+	}
+	if _, err := b.Query([]int{9}, 1); err == nil {
+		t.Fatal("expected user-range error")
+	}
+}
+
+func TestBMMExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nUsers := 2 + rng.Intn(20)
+		nItems := 3 + rng.Intn(60)
+		dim := 1 + rng.Intn(20)
+		users, items := testModel(rng, nUsers, nItems, dim)
+		b := NewBMM(BMMConfig{})
+		if err := b.Build(users, items); err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(minInt(6, nItems))
+		got, err := b.QueryAll(k)
+		if err != nil {
+			return false
+		}
+		return mips.VerifyAll(users, items, got, k, 1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBMMMatchesNaiveTiesExactly(t *testing.T) {
+	// BMM computes the same left-to-right dot products as Naive (the GEMM
+	// micro-kernel accumulates in index order), so even exact ties must
+	// match entry-for-entry.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		users := mat.New(6, 3)
+		items := mat.New(30, 3)
+		for i := range users.Data() {
+			users.Data()[i] = float64(rng.Intn(3))
+		}
+		for i := range items.Data() {
+			items.Data()[i] = float64(rng.Intn(3))
+		}
+		b := NewBMM(BMMConfig{})
+		naive := mips.NewNaive()
+		if b.Build(users, items) != nil || naive.Build(users, items) != nil {
+			return false
+		}
+		k := 1 + rng.Intn(5)
+		got, err := b.QueryAll(k)
+		if err != nil {
+			return false
+		}
+		want, err := naive.QueryAll(k)
+		if err != nil {
+			return false
+		}
+		for u := range want {
+			if !topk.Equal(got[u], want[u], 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBMMSlabbingMatchesSingleSlab(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	users, items := testModel(rng, 100, 50, 8)
+	big := NewBMM(BMMConfig{SlabBytes: 1 << 30})
+	tiny := NewBMM(BMMConfig{SlabBytes: 8 * 50}) // one user row per slab
+	if err := big.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	a, err := big.QueryAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tiny.QueryAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a {
+		if !topk.Equal(a[u], b[u], 0) {
+			t.Fatalf("user %d: slab size changed the answer", u)
+		}
+	}
+}
+
+func TestBMMQuerySubsetOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	users, items := testModel(rng, 20, 30, 5)
+	b := NewBMM(BMMConfig{})
+	if err := b.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	all, err := b.QueryAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{7, 0, 19, 7}
+	got, err := b.Query(ids, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range ids {
+		if !topk.Equal(got[i], all[u], 0) {
+			t.Fatalf("position %d (user %d): subset result differs", i, u)
+		}
+	}
+}
+
+func TestBMMParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	users, items := testModel(rng, 150, 80, 10)
+	s := NewBMM(BMMConfig{Threads: 1})
+	p := NewBMM(BMMConfig{Threads: 8})
+	if err := s.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.QueryAll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.QueryAll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a {
+		if !topk.Equal(a[u], b[u], 0) {
+			t.Fatalf("user %d: thread count changed the answer", u)
+		}
+	}
+}
+
+func TestBMMStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	users, items := testModel(rng, 64, 64, 8)
+	b := NewBMM(BMMConfig{})
+	if err := b.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := b.QueryStats(mips.AllUserIDs(64), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GemmTime <= 0 || st.HarvestTime <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestBMMInterface(t *testing.T) {
+	var _ mips.Solver = NewBMM(BMMConfig{})
+	if !NewBMM(BMMConfig{}).Batches() {
+		t.Fatal("BMM must report batching")
+	}
+	if NewBMM(BMMConfig{}).Name() != "BMM" {
+		t.Fatal("name wrong")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"optimus/internal/mat"
+	"optimus/internal/topk"
+)
+
+// Dynamic-user support (§III-E). The paper's deployment story assumes a
+// relatively static user set and proposes, for new arrivals, skipping the
+// clustering step: assign each new user to the centroid with the smallest L2
+// distance. The paper leaves periodic re-clustering as future work; this
+// file implements the assignment path — AddUsers — with the two pieces of
+// bookkeeping correctness demands:
+//
+//  1. θb maintenance: a new user can sit at a wider angle from its centroid
+//     than any existing member, which would invalidate the Equation 3 bound.
+//     If the new angle exceeds the cluster's θb, the bound is recomputed and
+//     the cluster's item list re-sorted (lazily, only for affected clusters).
+//  2. Block membership: the cluster's cached member matrix grows, so the
+//     shared block multiply keeps covering every member.
+
+// AddUsers appends new user vectors to a built index and returns their
+// assigned ids (contiguous, starting at the previous user count). The items
+// and latent dimensionality are unchanged; queries for both old and new
+// users remain exact.
+func (m *Maximus) AddUsers(newUsers *mat.Matrix) ([]int, error) {
+	if m.lists == nil {
+		return nil, fmt.Errorf("core: AddUsers before Build")
+	}
+	if newUsers == nil || newUsers.Rows() == 0 {
+		return nil, fmt.Errorf("core: AddUsers with no users")
+	}
+	if newUsers.Cols() != m.users.Cols() {
+		return nil, fmt.Errorf("core: new users have %d factors, index has %d",
+			newUsers.Cols(), m.users.Cols())
+	}
+
+	base := m.users.Rows()
+	// Grow the user matrix. The backing array is reallocated; per-cluster
+	// member matrices are refreshed below for affected clusters only.
+	grown := mat.New(base+newUsers.Rows(), m.users.Cols())
+	copy(grown.Data(), m.users.Data())
+	copy(grown.Data()[base*m.users.Cols():], newUsers.Data())
+	m.users = grown
+	m.userNorm = append(m.userNorm, newUsers.RowNorms()...)
+
+	ids := make([]int, newUsers.Rows())
+	dirty := make(map[int]bool) // clusters whose θb grew (lists stale)
+	touched := make(map[int]bool)
+	for r := 0; r < newUsers.Rows(); r++ {
+		u := base + r
+		ids[r] = u
+		c := m.nearestCentroid(m.users.Row(u))
+		m.clusterOf = append(m.clusterOf, c)
+		m.members[c] = append(m.members[c], u)
+		touched[c] = true
+		if a := mat.Angle(m.users.Row(u), m.centroids.Row(c)); a > m.thetaB[c] {
+			m.thetaB[c] = a
+			dirty[c] = true
+		}
+	}
+
+	// Re-derive the Equation 3 lists for clusters whose θb widened; refresh
+	// cached member matrices for every touched cluster.
+	for c := range dirty {
+		m.rebuildClusterList(c)
+	}
+	for c := range touched {
+		if m.blocks[c] != nil {
+			m.memberVecs[c] = m.users.SelectRows(m.members[c])
+		} else if !m.cfg.DisableItemBlocking && len(m.members[c]) > 0 && m.blocks[c] == nil {
+			// A previously empty or unblocked cluster gained members; give
+			// the cost-estimation rule another chance.
+			m.resizeBlock(c)
+		}
+	}
+	return ids, nil
+}
+
+// nearestCentroid returns the centroid index minimizing L2 distance — the
+// assignment step of k-means, as §III-E prescribes for new users.
+func (m *Maximus) nearestCentroid(u []float64) int {
+	best, bestD := 0, -1.0
+	for c := 0; c < m.centroids.Rows(); c++ {
+		cr := m.centroids.Row(c)
+		var d float64
+		for j, v := range u {
+			diff := v - cr[j]
+			d += diff * diff
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// rebuildClusterList recomputes cluster c's Equation 3 bounds and sorted
+// item list after its θb grew, then refreshes the shared block (the old
+// block may no longer hold the list's head).
+func (m *Maximus) rebuildClusterList(c int) {
+	nItems := m.items.Rows()
+	cnorm := mat.Norm(m.centroids.Row(c))
+	bound := make([]float64, nItems)
+	for i := 0; i < nItems; i++ {
+		irow := m.items.Row(i)
+		bound[i] = CBound(mat.Dot(m.centroids.Row(c), irow), cnorm, mat.Norm(irow), m.thetaB[c])
+	}
+	ids := m.lists[c]
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sortClusterList(ids, bound)
+	for pos, id := range ids {
+		m.bounds[c][pos] = bound[id]
+	}
+	if m.blocks[c] != nil {
+		m.resizeBlock(c)
+	}
+}
+
+// resizeBlock re-runs the cost-estimation sizing for one cluster.
+func (m *Maximus) resizeBlock(c int) {
+	m.blocks[c] = nil
+	m.memberVecs[c] = nil
+	if m.cfg.DisableItemBlocking || len(m.members[c]) == 0 {
+		return
+	}
+	bl := m.cfg.BlockSize
+	if bl <= 0 {
+		step := 1
+		if len(m.members[c]) > blockSampleUsers {
+			step = len(m.members[c]) / blockSampleUsers
+		}
+		var visited, sampled int
+		for i := 0; i < len(m.members[c]); i += step {
+			visited += m.walkLength(m.members[c][i], c)
+			sampled++
+		}
+		bl = visited / (2 * sampled)
+		if bl > maxBlockSize {
+			bl = maxBlockSize
+		}
+		if bl < 8 {
+			return
+		}
+	}
+	if bl > m.items.Rows() {
+		bl = m.items.Rows()
+	}
+	sel := make([]int, bl)
+	for p := 0; p < bl; p++ {
+		sel[p] = int(m.lists[c][p])
+	}
+	m.blocks[c] = m.items.SelectRows(sel)
+	m.memberVecs[c] = m.users.SelectRows(m.members[c])
+}
+
+// Users returns the current user count (grows with AddUsers).
+func (m *Maximus) Users() int {
+	if m.users == nil {
+		return 0
+	}
+	return m.users.Rows()
+}
+
+// QueryUser answers a single user's top-k — the point-query entry point a
+// serving system uses after AddUsers.
+func (m *Maximus) QueryUser(userID, k int) ([]topk.Entry, error) {
+	res, err := m.Query([]int{userID}, k)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/topk"
+)
+
+func TestMaximusValidation(t *testing.T) {
+	m := NewMaximus(MaximusConfig{})
+	if err := m.Build(nil, nil); err == nil {
+		t.Fatal("expected nil-input error")
+	}
+	if _, err := m.Query([]int{0}, 1); err == nil {
+		t.Fatal("expected query-before-build error")
+	}
+	if _, err := m.QueryAll(1); err == nil {
+		t.Fatal("expected queryall-before-build error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	users, items := testModel(rng, 10, 20, 4)
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.QueryAll(0); err == nil {
+		t.Fatal("expected k=0 error")
+	}
+	if _, err := m.QueryAll(21); err == nil {
+		t.Fatal("expected k>|I| error")
+	}
+	if _, err := m.Query([]int{10}, 1); err == nil {
+		t.Fatal("expected user-range error")
+	}
+}
+
+func TestCBoundKnownCases(t *testing.T) {
+	// θb >= θic: the bound degrades to ‖i‖.
+	if got := CBound(0, 1, 2, math.Pi); got != 2 {
+		t.Fatalf("CBound large thetaB = %v, want 2", got)
+	}
+	// θb = 0: the bound is the exact centroid rating ‖i‖·cos(θic).
+	dot, cnorm, inorm := 1.0, 1.0, 2.0 // cos θic = 1/2, θic = π/3
+	want := inorm * 0.5
+	if got := CBound(dot, cnorm, inorm, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CBound thetaB=0 = %v, want %v", got, want)
+	}
+	// Zero item: bound 0. Zero centroid: conservative ‖i‖.
+	if CBound(0, 1, 0, 0.5) != 0 {
+		t.Fatal("zero item must bound to 0")
+	}
+	if CBound(0, 0, 3, 0.5) != 3 {
+		t.Fatal("zero centroid must fall back to ‖i‖")
+	}
+	// Out-of-domain cosine from rounding must be clamped, not NaN.
+	if got := CBound(2.0000000001, 1, 2, 0.1); math.IsNaN(got) {
+		t.Fatal("clamp failed: NaN bound")
+	}
+}
+
+// TestCBoundIsValidUpperBound is the core Equation 3 property: for every
+// user u of cluster c and every item i, CBound(c,i,θb) ≥ uᵀi / ‖u‖.
+func TestCBoundIsValidUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nUsers := 10 + rng.Intn(40)
+		nItems := 5 + rng.Intn(40)
+		dim := 2 + rng.Intn(10)
+		users, items := testModel(rng, nUsers, nItems, dim)
+		m := NewMaximus(MaximusConfig{Clusters: 3, KMeansIters: 2, Seed: seed})
+		if err := m.Build(users, items); err != nil {
+			return false
+		}
+		for u := 0; u < nUsers; u++ {
+			unorm := mat.Norm(users.Row(u))
+			if unorm == 0 {
+				continue
+			}
+			c := m.clusterOf[u]
+			// Find each item's bound via the cluster's sorted list.
+			boundOf := make(map[int32]float64, nItems)
+			for pos, id := range m.lists[c] {
+				boundOf[id] = m.bounds[c][pos]
+			}
+			for i := 0; i < nItems; i++ {
+				truth := mat.Dot(users.Row(u), items.Row(i)) / unorm
+				if b := boundOf[int32(i)]; b < truth-1e-9*(1+math.Abs(truth)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximusListsSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	users, items := testModel(rng, 30, 50, 6)
+	m := NewMaximus(MaximusConfig{Clusters: 4, Seed: 3})
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	for c := range m.lists {
+		if len(m.lists[c]) != 50 {
+			t.Fatalf("cluster %d list has %d items, want 50", c, len(m.lists[c]))
+		}
+		seen := make([]bool, 50)
+		for pos, id := range m.lists[c] {
+			if seen[id] {
+				t.Fatalf("cluster %d: duplicate item %d", c, id)
+			}
+			seen[id] = true
+			if pos > 0 && m.bounds[c][pos] > m.bounds[c][pos-1]+1e-12 {
+				t.Fatalf("cluster %d: bounds not descending at %d", c, pos)
+			}
+		}
+	}
+}
+
+// TestMaximusExactness: MAXIMUS must return the true top-K under every
+// configuration knob.
+func TestMaximusExactness(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  MaximusConfig
+	}{
+		{"defaults", MaximusConfig{}},
+		{"no-blocking", MaximusConfig{DisableItemBlocking: true}},
+		{"tiny-blocks", MaximusConfig{BlockSize: 3}},
+		{"one-cluster", MaximusConfig{Clusters: 1}},
+		{"many-clusters", MaximusConfig{Clusters: 16}},
+		{"spherical", MaximusConfig{Spherical: true}},
+		{"sampled-clustering", MaximusConfig{ClusterSampleFraction: 0.3}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				nUsers := 5 + rng.Intn(40)
+				nItems := 5 + rng.Intn(60)
+				dim := 2 + rng.Intn(12)
+				users, items := testModel(rng, nUsers, nItems, dim)
+				cfg := tc.cfg
+				cfg.Seed = seed
+				m := NewMaximus(cfg)
+				if err := m.Build(users, items); err != nil {
+					return false
+				}
+				k := 1 + rng.Intn(minInt(5, nItems))
+				got, err := m.QueryAll(k)
+				if err != nil {
+					return false
+				}
+				return mips.VerifyAll(users, items, got, k, 1e-9) == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestItemBlockingLesionSameAnswers(t *testing.T) {
+	// Fig 8's lesion: blocking changes the execution plan, never the answer.
+	rng := rand.New(rand.NewSource(4))
+	users, items := testModel(rng, 80, 120, 8)
+	with := NewMaximus(MaximusConfig{BlockSize: 16, Seed: 9})
+	without := NewMaximus(MaximusConfig{DisableItemBlocking: true, Seed: 9})
+	if err := with.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := without.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	a, err := with.QueryAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := without.QueryAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a {
+		if err := mips.VerifyTopK(users.Row(u), items, a[u], 5, 1e-9); err != nil {
+			t.Fatalf("blocked user %d: %v", u, err)
+		}
+		// Score sequences must agree (items may swap among fp-exact ties).
+		for r := range a[u] {
+			if math.Abs(a[u][r].Score-b[u][r].Score) > 1e-9 {
+				t.Fatalf("user %d rank %d: %v vs %v", u, r, a[u][r].Score, b[u][r].Score)
+			}
+		}
+	}
+}
+
+func TestMaximusPrunes(t *testing.T) {
+	// With tightly clustered users and strongly skewed item norms, w̄ must be
+	// well below |I| — otherwise the index is pointless (Equation 4).
+	rng := rand.New(rand.NewSource(5))
+	nUsers, nItems, dim := 400, 2000, 16
+	centers := mat.New(4, dim)
+	for i := range centers.Data() {
+		centers.Data()[i] = rng.NormFloat64()
+	}
+	users := mat.New(nUsers, dim)
+	for i := 0; i < nUsers; i++ {
+		c := centers.Row(i % 4)
+		row := users.Row(i)
+		for j := 0; j < dim; j++ {
+			row[j] = c[j] + rng.NormFloat64()*0.05 // very tight clusters
+		}
+	}
+	items := mat.New(nItems, dim)
+	for i := 0; i < nItems; i++ {
+		scale := math.Exp(rng.NormFloat64() * 1.5) // strong norm skew
+		row := items.Row(i)
+		for j := 0; j < dim; j++ {
+			row[j] = rng.NormFloat64() * scale
+		}
+	}
+	m := NewMaximus(MaximusConfig{Clusters: 4, DisableItemBlocking: true, Seed: 6})
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	wbar, err := m.MeanItemsVisited(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wbar > float64(nItems)/2 {
+		t.Fatalf("w̄ = %.0f of %d items: pruning ineffective", wbar, nItems)
+	}
+	// And the results must still be exact.
+	got, err := m.QueryAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyAll(users, items, got, 1, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximusThetaBCoversMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	users, items := testModel(rng, 60, 30, 5)
+	m := NewMaximus(MaximusConfig{Clusters: 5, ClusterSampleFraction: 0.25, Seed: 8})
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	theta := m.ThetaB()
+	for u, c := range m.ClusterOf() {
+		a := mat.Angle(users.Row(u), m.centroids.Row(c))
+		if a > theta[c]+1e-12 {
+			t.Fatalf("user %d angle %v exceeds θb[%d]=%v (assign-only member not covered)", u, a, c, theta[c])
+		}
+	}
+}
+
+func TestMaximusQuerySubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	users, items := testModel(rng, 40, 60, 6)
+	m := NewMaximus(MaximusConfig{Seed: 1})
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	all, err := m.QueryAll(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{3, 3, 39, 0}
+	got, err := m.Query(ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range ids {
+		if !topk.Equal(got[i], all[u], 0) {
+			t.Fatalf("subset position %d (user %d) differs", i, u)
+		}
+	}
+}
+
+func TestMaximusParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	users, items := testModel(rng, 120, 150, 8)
+	s := NewMaximus(MaximusConfig{Threads: 1, Seed: 2})
+	p := NewMaximus(MaximusConfig{Threads: 6, Seed: 2})
+	if err := s.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.QueryAll(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.QueryAll(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a {
+		if !topk.Equal(a[u], b[u], 0) {
+			t.Fatalf("user %d: thread count changed the answer", u)
+		}
+	}
+}
+
+func TestMaximusTimingsAndStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	users, items := testModel(rng, 50, 80, 6)
+	m := NewMaximus(MaximusConfig{Seed: 3})
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Timings()
+	if tm.Clustering <= 0 || tm.Construction <= 0 || tm.CostEstimation <= 0 {
+		t.Fatalf("stage timings not recorded: %+v", tm)
+	}
+	if m.BuildTime() != tm.Clustering+tm.Construction+tm.CostEstimation {
+		t.Fatal("BuildTime must sum the stages")
+	}
+	_, st, err := m.QueryStats(mips.AllUserIDs(50), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Traversal <= 0 || st.ItemsVisited <= 0 {
+		t.Fatalf("query stats not populated: %+v", st)
+	}
+	if st.ItemsVisited < 50*3 {
+		t.Fatalf("visited %d < users×k", st.ItemsVisited)
+	}
+}
+
+func TestMaximusInterface(t *testing.T) {
+	var _ mips.Solver = NewMaximus(MaximusConfig{})
+	m := NewMaximus(MaximusConfig{})
+	if m.Name() != "MAXIMUS" || !m.Batches() {
+		t.Fatal("identity methods wrong")
+	}
+}
+
+func TestMaximusDefaultsApplied(t *testing.T) {
+	m := NewMaximus(MaximusConfig{})
+	if m.cfg.Clusters != 8 || m.cfg.KMeansIters != 3 {
+		t.Fatalf("defaults not applied: %+v", m.cfg)
+	}
+}
+
+func TestMaximusBlockSizing(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// Isotropic users and flat norms: nothing prunes, walks span most of the
+	// item list, so the adaptive sizing must choose substantial blocks.
+	users := mat.New(200, 8)
+	items := mat.New(400, 8)
+	for i := range users.Data() {
+		users.Data()[i] = rng.NormFloat64()
+	}
+	for i := range items.Data() {
+		items.Data()[i] = rng.NormFloat64()
+	}
+
+	adaptive := NewMaximus(MaximusConfig{Seed: 4})
+	if err := adaptive.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	anyBlock := false
+	for c, b := range adaptive.BlockSizes() {
+		if b < 0 || b > 400 {
+			t.Fatalf("cluster %d block size %d out of range", c, b)
+		}
+		if b > 0 {
+			anyBlock = true
+		}
+	}
+	if !anyBlock {
+		t.Fatal("adaptive sizing chose no blocks at all on a long-walk input")
+	}
+
+	// Explicit setting wins.
+	explicit := NewMaximus(MaximusConfig{BlockSize: 37, Seed: 4})
+	if err := explicit.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	for c, b := range explicit.BlockSizes() {
+		if len(explicit.members[c]) > 0 && b != 37 {
+			t.Fatalf("cluster %d block size %d, want 37", c, b)
+		}
+	}
+
+	// Lesion: no blocks, and the cost-estimation stage is skipped.
+	lesion := NewMaximus(MaximusConfig{DisableItemBlocking: true, Seed: 4})
+	if err := lesion.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	for c, b := range lesion.BlockSizes() {
+		if b != 0 {
+			t.Fatalf("lesioned cluster %d has block size %d", c, b)
+		}
+	}
+}
+
+func TestMaximusAdaptiveBlockTracksWalkLength(t *testing.T) {
+	// Strong pruning (tight users, heavy skew) must yield much smaller
+	// blocks than weak pruning (isotropic users, flat norms) — the whole
+	// point of sampling walk lengths at build time.
+	rng := rand.New(rand.NewSource(22))
+	nUsers, nItems, dim := 300, 800, 12
+
+	tight := mat.New(nUsers, dim)
+	center := make([]float64, dim)
+	for j := range center {
+		center[j] = rng.NormFloat64()
+	}
+	for i := 0; i < nUsers; i++ {
+		row := tight.Row(i)
+		for j := 0; j < dim; j++ {
+			row[j] = center[j] + rng.NormFloat64()*0.02
+		}
+	}
+	skewed := mat.New(nItems, dim)
+	for i := 0; i < nItems; i++ {
+		scale := math.Exp(rng.NormFloat64() * 2)
+		row := skewed.Row(i)
+		for j := 0; j < dim; j++ {
+			row[j] = rng.NormFloat64() * scale
+		}
+	}
+	iso, flat := mat.New(nUsers, dim), mat.New(nItems, dim)
+	for i := range iso.Data() {
+		iso.Data()[i] = rng.NormFloat64()
+	}
+	for i := range flat.Data() {
+		flat.Data()[i] = rng.NormFloat64()
+	}
+
+	meanBlock := func(users, items *mat.Matrix) float64 {
+		m := NewMaximus(MaximusConfig{Seed: 5})
+		if err := m.Build(users, items); err != nil {
+			t.Fatal(err)
+		}
+		var sum, n float64
+		for c, b := range m.BlockSizes() {
+			if len(m.members[c]) > 0 {
+				sum += float64(b)
+				n++
+			}
+		}
+		return sum / n
+	}
+	prunable := meanBlock(tight, skewed)
+	unprunable := meanBlock(iso, flat)
+	if prunable*2 > unprunable {
+		t.Fatalf("adaptive blocks do not track walk length: prunable %.0f vs unprunable %.0f",
+			prunable, unprunable)
+	}
+}

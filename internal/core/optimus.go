@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/stats"
+	"optimus/internal/topk"
+)
+
+// OptimusConfig controls the online optimizer (§IV).
+type OptimusConfig struct {
+	// SampleFraction of users measured per strategy. The paper uses ~0.5%
+	// for its ≥480k-user models; the default matches.
+	SampleFraction float64
+	// L2CacheBytes is the only hardware knowledge OPTIMUS assumes (§IV): the
+	// user sample must occupy at least the L2 cache so the BMM measurement
+	// exhibits the blocked kernel's real throughput rather than degraded
+	// matrix–vector behaviour. Default 256 KiB, the paper's machine.
+	L2CacheBytes int
+	// Alpha is the t-test significance threshold for early stopping.
+	Alpha float64
+	// DisableTTest turns off early stopping (ablation A3); the full sample
+	// is then always measured.
+	DisableTTest bool
+	// MinTTestObservations is the minimum per-user measurements before the
+	// t-test may stop early.
+	MinTTestObservations int
+	// Seed drives sample selection.
+	Seed int64
+	// Threads is passed through to batch measurement and final execution.
+	Threads int
+}
+
+// DefaultOptimusConfig returns the paper's settings.
+func DefaultOptimusConfig() OptimusConfig {
+	return OptimusConfig{
+		SampleFraction:       0.005,
+		L2CacheBytes:         256 << 10,
+		Alpha:                0.05,
+		MinTTestObservations: 8,
+		Threads:              1,
+	}
+}
+
+// Estimate is one strategy's sampled runtime projection.
+type Estimate struct {
+	Solver string
+	// BuildTime is the measured index construction cost (zero for BMM).
+	BuildTime time.Duration
+	// SampleTime is the measured query time over the examined sample users.
+	SampleTime time.Duration
+	// Examined is how many sample users were actually measured (can be less
+	// than the sample size when the t-test stopped early).
+	Examined int
+	// Total is the extrapolated full-population query time.
+	Total time.Duration
+	// EarlyStopped reports whether the incremental t-test cut measurement
+	// short.
+	EarlyStopped bool
+}
+
+// Decision is the outcome of one OPTIMUS run.
+type Decision struct {
+	// Winner is the chosen strategy's name.
+	Winner string
+	// Estimates holds one entry per strategy, BMM first.
+	Estimates []Estimate
+	// SampleSize is the number of users drawn (≥ the L2 minimum).
+	SampleSize int
+	// Overhead is the optimization cost not recouped by the winner: building
+	// losing indexes plus measuring losing strategies. (The winner's sampled
+	// results are reused, so its measurement is useful work.)
+	Overhead time.Duration
+	// Elapsed is the total wall-clock of the Run call, measurement and final
+	// execution included.
+	Elapsed time.Duration
+}
+
+// EstimateFor returns the estimate for a named strategy.
+func (d *Decision) EstimateFor(name string) (Estimate, bool) {
+	for _, e := range d.Estimates {
+		if e.Solver == name {
+			return e, true
+		}
+	}
+	return Estimate{}, false
+}
+
+// Optimus selects online between blocked matrix multiply and one or more
+// index strategies (§IV-A): it constructs every candidate index (cheap,
+// Fig 4), measures each strategy on a small user sample, extrapolates, then
+// completes the batch job with the winner, reusing the winner's sampled
+// results.
+type Optimus struct {
+	cfg     OptimusConfig
+	bmm     *BMM
+	indexes []mips.Solver
+}
+
+// NewOptimus returns an optimizer choosing between BMM and the given
+// (unbuilt) index solvers. With no indexes it degenerates to plain BMM.
+// Zero-valued config fields fall back to defaults.
+func NewOptimus(cfg OptimusConfig, indexes ...mips.Solver) *Optimus {
+	def := DefaultOptimusConfig()
+	if cfg.SampleFraction <= 0 || cfg.SampleFraction > 1 {
+		cfg.SampleFraction = def.SampleFraction
+	}
+	if cfg.L2CacheBytes <= 0 {
+		cfg.L2CacheBytes = def.L2CacheBytes
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		cfg.Alpha = def.Alpha
+	}
+	if cfg.MinTTestObservations <= 1 {
+		cfg.MinTTestObservations = def.MinTTestObservations
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	return &Optimus{
+		cfg:     cfg,
+		bmm:     NewBMM(BMMConfig{Threads: cfg.Threads}),
+		indexes: indexes,
+	}
+}
+
+// SampleSize returns the sample cardinality for n users with f factors:
+// max(SampleFraction·n, the number of user rows needed to fill L2), capped
+// at n.
+func (o *Optimus) SampleSize(n, f int) int {
+	s := int(math.Ceil(o.cfg.SampleFraction * float64(n)))
+	l2min := (o.cfg.L2CacheBytes + 8*f - 1) / (8 * f)
+	if s < l2min {
+		s = l2min
+	}
+	if s < 2 {
+		s = 2
+	}
+	if s > n {
+		s = n
+	}
+	return s
+}
+
+// Run executes the full OPTIMUS pipeline for batch top-k over all users:
+// build indexes, sample, measure, decide, and finish with the winner.
+// The returned results cover every user in order.
+func (o *Optimus) Run(users, items *mat.Matrix, k int) (*Decision, [][]topk.Entry, error) {
+	start := time.Now()
+	if err := mips.ValidateInputs(users, items); err != nil {
+		return nil, nil, err
+	}
+	if err := mips.ValidateK(k, items.Rows()); err != nil {
+		return nil, nil, err
+	}
+	dec, sampleIDs, sampleResults, err := o.measure(users, items, k)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Execute the winner over the remaining users, reusing its sampled
+	// results (§IV-A step 4).
+	winner := o.solverByName(dec.Winner)
+	winnerEst, _ := dec.EstimateFor(dec.Winner)
+	n := users.Rows()
+	results := make([][]topk.Entry, n)
+	reused := 0
+	for i, u := range sampleIDs {
+		if i >= winnerEst.Examined {
+			break
+		}
+		results[u] = sampleResults[dec.Winner][i]
+		reused++
+	}
+	var remaining []int
+	for u := 0; u < n; u++ {
+		if results[u] == nil {
+			remaining = append(remaining, u)
+		}
+	}
+	if len(remaining) > 0 {
+		rest, err := winner.Query(remaining, k)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: optimus final pass: %w", err)
+		}
+		for i, u := range remaining {
+			results[u] = rest[i]
+		}
+	}
+	dec.Elapsed = time.Since(start)
+	return dec, results, nil
+}
+
+// Measure runs index construction and sampled measurement only — the Fig 7
+// experiment and Table II's overhead accounting use this entry point.
+func (o *Optimus) Measure(users, items *mat.Matrix, k int) (*Decision, error) {
+	if err := mips.ValidateInputs(users, items); err != nil {
+		return nil, err
+	}
+	if err := mips.ValidateK(k, items.Rows()); err != nil {
+		return nil, err
+	}
+	dec, _, _, err := o.measure(users, items, k)
+	return dec, err
+}
+
+func (o *Optimus) solverByName(name string) mips.Solver {
+	if name == o.bmm.Name() {
+		return o.bmm
+	}
+	for _, idx := range o.indexes {
+		if idx.Name() == name {
+			return idx
+		}
+	}
+	return o.bmm
+}
+
+// measure builds all candidates, samples users, and produces the decision
+// plus the per-strategy sampled results for reuse.
+func (o *Optimus) measure(users, items *mat.Matrix, k int) (*Decision, []int, map[string][][]topk.Entry, error) {
+	n := users.Rows()
+	sampleSize := o.SampleSize(n, users.Cols())
+	rng := rand.New(rand.NewSource(o.cfg.Seed))
+	sampleIDs := stats.SampleWithoutReplacement(rng, n, sampleSize)
+
+	if err := o.bmm.Build(users, items); err != nil {
+		return nil, nil, nil, err
+	}
+	buildTimes := make([]time.Duration, len(o.indexes))
+	for i, idx := range o.indexes {
+		t0 := time.Now()
+		if err := idx.Build(users, items); err != nil {
+			return nil, nil, nil, fmt.Errorf("core: building %s: %w", idx.Name(), err)
+		}
+		buildTimes[i] = time.Since(t0)
+	}
+
+	sampleResults := make(map[string][][]topk.Entry, 1+len(o.indexes))
+
+	// BMM on the whole sample (it must batch to show hardware effects).
+	t0 := time.Now()
+	bmmRes, err := o.bmm.Query(sampleIDs, k)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bmmSample := time.Since(t0)
+	sampleResults[o.bmm.Name()] = bmmRes
+	bmmPerUser := bmmSample.Seconds() / float64(sampleSize)
+
+	estimates := []Estimate{{
+		Solver:     o.bmm.Name(),
+		SampleTime: bmmSample,
+		Examined:   sampleSize,
+		Total:      time.Duration(stats.Extrapolate(bmmSample.Seconds(), sampleSize, n) * float64(time.Second)),
+	}}
+
+	for i, idx := range o.indexes {
+		est := Estimate{Solver: idx.Name(), BuildTime: buildTimes[i]}
+		var res [][]topk.Entry
+		if idx.Batches() {
+			// Batch indexes amortize across users; per-user times are not
+			// i.i.d., so measure the whole sample at once (§IV-A).
+			t0 := time.Now()
+			res, err = idx.Query(sampleIDs, k)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			est.SampleTime = time.Since(t0)
+			est.Examined = sampleSize
+		} else {
+			// Point-query index: per-user measurement with the incremental
+			// one-sample t-test against BMM's mean per-user time.
+			tt := stats.NewTTest(bmmPerUser, o.cfg.Alpha)
+			res = make([][]topk.Entry, 0, sampleSize)
+			for _, u := range sampleIDs {
+				q0 := time.Now()
+				r, err := idx.Query([]int{u}, k)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				dt := time.Since(q0)
+				est.SampleTime += dt
+				res = append(res, r[0])
+				tt.Add(dt.Seconds())
+				if !o.cfg.DisableTTest && tt.N() >= o.cfg.MinTTestObservations && tt.Significant() {
+					est.EarlyStopped = true
+					break
+				}
+			}
+			est.Examined = len(res)
+		}
+		est.Total = time.Duration(stats.Extrapolate(est.SampleTime.Seconds(), est.Examined, n) * float64(time.Second))
+		sampleResults[idx.Name()] = res
+		estimates = append(estimates, est)
+	}
+
+	// Decide: smallest projected traversal time wins (construction is sunk
+	// by decision time; it is accounted in Overhead for the losers).
+	winner := estimates[0]
+	for _, e := range estimates[1:] {
+		if e.Total < winner.Total {
+			winner = e
+		}
+	}
+	var overhead time.Duration
+	for _, e := range estimates {
+		if e.Solver != winner.Solver {
+			overhead += e.BuildTime + e.SampleTime
+		}
+	}
+	dec := &Decision{
+		Winner:     winner.Solver,
+		Estimates:  estimates,
+		SampleSize: sampleSize,
+		Overhead:   overhead,
+	}
+	return dec, sampleIDs, sampleResults, nil
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"optimus/internal/fexipro"
+	"optimus/internal/lemp"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+)
+
+// indexFriendlyModel: tight user clusters + heavy norm skew, so pruning
+// indexes dominate BMM.
+func indexFriendlyModel(rng *rand.Rand, nUsers, nItems, f int) (*mat.Matrix, *mat.Matrix) {
+	centers := mat.New(3, f)
+	for i := range centers.Data() {
+		centers.Data()[i] = rng.NormFloat64()
+	}
+	users := mat.New(nUsers, f)
+	for i := 0; i < nUsers; i++ {
+		c := centers.Row(i % 3)
+		row := users.Row(i)
+		for j := 0; j < f; j++ {
+			row[j] = c[j] + rng.NormFloat64()*0.02
+		}
+	}
+	items := mat.New(nItems, f)
+	for i := 0; i < nItems; i++ {
+		scale := math.Exp(rng.NormFloat64() * 2)
+		row := items.Row(i)
+		for j := 0; j < f; j++ {
+			row[j] = rng.NormFloat64() * scale
+		}
+	}
+	return users, items
+}
+
+// bmmFriendlyModel: isotropic users, uniform norms — nothing to prune.
+func bmmFriendlyModel(rng *rand.Rand, nUsers, nItems, f int) (*mat.Matrix, *mat.Matrix) {
+	users := mat.New(nUsers, f)
+	items := mat.New(nItems, f)
+	for i := range users.Data() {
+		users.Data()[i] = rng.NormFloat64()
+	}
+	for i := range items.Data() {
+		items.Data()[i] = rng.NormFloat64()
+	}
+	return users, items
+}
+
+func TestOptimusValidation(t *testing.T) {
+	o := NewOptimus(OptimusConfig{})
+	if _, _, err := o.Run(nil, nil, 1); err == nil {
+		t.Fatal("expected nil-input error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	users, items := bmmFriendlyModel(rng, 10, 20, 4)
+	if _, _, err := o.Run(users, items, 0); err == nil {
+		t.Fatal("expected k=0 error")
+	}
+	if _, _, err := o.Run(users, items, 21); err == nil {
+		t.Fatal("expected k>|I| error")
+	}
+	if _, err := o.Measure(users, items, 0); err == nil {
+		t.Fatal("expected Measure k error")
+	}
+}
+
+func TestOptimusSampleSize(t *testing.T) {
+	o := NewOptimus(OptimusConfig{SampleFraction: 0.005, L2CacheBytes: 256 << 10})
+	// 0.5% of 100k users = 500 < L2 minimum at f=100: 256KiB/800B = 328.
+	if got := o.SampleSize(100000, 100); got != 500 {
+		t.Fatalf("SampleSize = %d, want 500 (fraction dominates)", got)
+	}
+	// For a small population the L2 floor dominates.
+	if got := o.SampleSize(1000, 100); got != 328 {
+		t.Fatalf("SampleSize = %d, want 328 (L2 floor dominates)", got)
+	}
+	// Capped at n.
+	if got := o.SampleSize(50, 100); got != 50 {
+		t.Fatalf("SampleSize = %d, want 50 (capped)", got)
+	}
+}
+
+func TestOptimusResultsAlwaysExact(t *testing.T) {
+	// Whatever OPTIMUS picks, the answers must be the true top-K.
+	for _, build := range []struct {
+		name string
+		gen  func(*rand.Rand, int, int, int) (*mat.Matrix, *mat.Matrix)
+	}{
+		{"index-friendly", indexFriendlyModel},
+		{"bmm-friendly", bmmFriendlyModel},
+	} {
+		build := build
+		t.Run(build.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			users, items := build.gen(rng, 300, 200, 8)
+			o := NewOptimus(
+				OptimusConfig{SampleFraction: 0.05, L2CacheBytes: 1 << 10, Seed: 3},
+				NewMaximus(MaximusConfig{Seed: 3}),
+				lemp.New(lemp.Config{TuneSample: 0}),
+			)
+			dec, res, err := o.Run(users, items, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mips.VerifyAll(users, items, res, 5, 1e-9); err != nil {
+				t.Fatalf("winner %s produced wrong results: %v", dec.Winner, err)
+			}
+			if dec.SampleSize <= 0 || len(dec.Estimates) != 3 {
+				t.Fatalf("decision malformed: %+v", dec)
+			}
+		})
+	}
+}
+
+func TestOptimusPicksIndexOnPrunableInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	users, items := indexFriendlyModel(rng, 2000, 4000, 16)
+	o := NewOptimus(
+		OptimusConfig{SampleFraction: 0.02, L2CacheBytes: 4 << 10, Seed: 5},
+		NewMaximus(MaximusConfig{Seed: 5}),
+	)
+	dec, err := o.Measure(users, items, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Winner != "MAXIMUS" {
+		bmmE, _ := dec.EstimateFor("BMM")
+		maxE, _ := dec.EstimateFor("MAXIMUS")
+		t.Fatalf("winner = %s (BMM est %v, MAXIMUS est %v); expected MAXIMUS on tightly clustered, heavily skewed input",
+			dec.Winner, bmmE.Total, maxE.Total)
+	}
+}
+
+func TestOptimusPicksBMMOnUnprunableInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// Isotropic data with many factors: index walks visit nearly all items,
+	// per-item dot costs equal BMM's, but without batching efficiency.
+	users, items := bmmFriendlyModel(rng, 2000, 1500, 32)
+	o := NewOptimus(
+		OptimusConfig{SampleFraction: 0.02, L2CacheBytes: 4 << 10, Seed: 6},
+		NewMaximus(MaximusConfig{Seed: 6}),
+	)
+	dec, err := o.Measure(users, items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Winner != "BMM" {
+		bmmE, _ := dec.EstimateFor("BMM")
+		maxE, _ := dec.EstimateFor("MAXIMUS")
+		t.Fatalf("winner = %s (BMM est %v, MAXIMUS est %v); expected BMM on isotropic input",
+			dec.Winner, bmmE.Total, maxE.Total)
+	}
+}
+
+func TestOptimusTTestEarlyStopsOnLopsidedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	users, items := indexFriendlyModel(rng, 1500, 3000, 12)
+	idx := fexipro.New(fexipro.Config{}) // point-query: t-test eligible
+	o := NewOptimus(OptimusConfig{
+		SampleFraction: 0.2, // large sample so early stopping is visible
+		L2CacheBytes:   1 << 10,
+		Seed:           7,
+	}, idx)
+	dec, err := o.Measure(users, items, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, ok := dec.EstimateFor("FEXIPRO-SI")
+	if !ok {
+		t.Fatal("missing FEXIPRO estimate")
+	}
+	if !est.EarlyStopped {
+		t.Fatalf("t-test did not stop early on a lopsided input (examined %d of %d)",
+			est.Examined, dec.SampleSize)
+	}
+	if est.Examined >= dec.SampleSize {
+		t.Fatal("early stop flag set but full sample examined")
+	}
+
+	// Ablation: with the t-test disabled the full sample must be examined.
+	noTT := NewOptimus(OptimusConfig{
+		SampleFraction: 0.2, L2CacheBytes: 1 << 10, Seed: 7, DisableTTest: true,
+	}, fexipro.New(fexipro.Config{}))
+	dec2, err := noTT.Measure(users, items, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est2, _ := dec2.EstimateFor("FEXIPRO-SI")
+	if est2.EarlyStopped || est2.Examined != dec2.SampleSize {
+		t.Fatalf("t-test lesion violated: %+v", est2)
+	}
+}
+
+func TestOptimusReusesSampleResults(t *testing.T) {
+	// The final output must be exact for every user even when the winner's
+	// sample answers are stitched in (§IV-A step 4), including an
+	// early-stopped point-query winner with partial sample coverage.
+	rng := rand.New(rand.NewSource(14))
+	users, items := indexFriendlyModel(rng, 400, 800, 10)
+	o := NewOptimus(OptimusConfig{
+		SampleFraction: 0.25, L2CacheBytes: 1 << 10, Seed: 8,
+	}, fexipro.New(fexipro.Config{}))
+	dec, res, err := o.Run(users, items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyAll(users, items, res, 3, 1e-8); err != nil {
+		t.Fatalf("winner %s: %v", dec.Winner, err)
+	}
+}
+
+func TestOptimusNoIndexesDegeneratesToBMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	users, items := bmmFriendlyModel(rng, 100, 50, 6)
+	o := NewOptimus(OptimusConfig{SampleFraction: 0.1, L2CacheBytes: 1 << 10, Seed: 9})
+	dec, res, err := o.Run(users, items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Winner != "BMM" {
+		t.Fatalf("winner = %s with no indexes", dec.Winner)
+	}
+	if err := mips.VerifyAll(users, items, res, 2, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimusThreeWay(t *testing.T) {
+	// Table II bottom row: BMM + LEMP + MAXIMUS. The decision must be well
+	// formed and the results exact.
+	rng := rand.New(rand.NewSource(16))
+	users, items := indexFriendlyModel(rng, 300, 400, 8)
+	o := NewOptimus(
+		OptimusConfig{SampleFraction: 0.1, L2CacheBytes: 1 << 10, Seed: 10},
+		NewMaximus(MaximusConfig{Seed: 10}),
+		lemp.New(lemp.Config{TuneSample: 0}),
+	)
+	dec, res, err := o.Run(users, items, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Estimates) != 3 {
+		t.Fatalf("expected 3 estimates, got %d", len(dec.Estimates))
+	}
+	if err := mips.VerifyAll(users, items, res, 5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Overhead <= 0 {
+		t.Fatal("three-way run must report loser overhead")
+	}
+	if dec.Elapsed <= 0 {
+		t.Fatal("elapsed must be recorded")
+	}
+}
+
+func TestOptimusDeterministicDecision(t *testing.T) {
+	// Same seed, same clearly separated input: the decision must be stable
+	// across runs (timing noise must not flip a 10×-scale gap).
+	rng := rand.New(rand.NewSource(17))
+	users, items := indexFriendlyModel(rng, 1000, 2000, 12)
+	for trial := 0; trial < 3; trial++ {
+		o := NewOptimus(OptimusConfig{SampleFraction: 0.05, L2CacheBytes: 2 << 10, Seed: 11},
+			NewMaximus(MaximusConfig{Seed: 11}))
+		dec, err := o.Measure(users, items, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Winner != "MAXIMUS" {
+			t.Fatalf("trial %d: winner %s", trial, dec.Winner)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package dataset generates the synthetic matrix-factorization models that
+// stand in for the paper's evaluation datasets (Table I: Netflix Prize,
+// Yahoo Music KDD, Yahoo R2, GloVe-Twitter) and their 23 trained models.
+//
+// The real models are unavailable (proprietary data, hours of training), but
+// MIPS solver behaviour is governed by two measurable properties of the
+// factor matrices rather than by the raw ratings:
+//
+//   - the spread of item-vector norms (log-normal with σ = NormSigma here),
+//     which determines how much length-based pruning (LEMP, FEXIPRO, and
+//     the ‖i‖ factor in MAXIMUS's Equation 3) can discard; and
+//   - the angular concentration of users around latent "taste" directions
+//     (UserSpread here), which determines MAXIMUS's θb and thus how sharp
+//     its cluster-level bound is.
+//
+// Each reference model maps to a Config with those knobs set to reproduce
+// its regime (BMM-friendly vs index-friendly), with user/item counts scaled
+// down by a common factor so the full evaluation runs in minutes. The knob
+// assignments reproduce the winner patterns of Fig 2 and Fig 5: Netflix-like
+// models are BMM-friendly, R2/KDD-like models are index-friendly, GloVe is
+// in between.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"optimus/internal/mat"
+)
+
+// Config describes one synthetic MF model.
+type Config struct {
+	// Name identifies the model in reports (e.g. "netflix-dsgd-50").
+	Name string
+	// Users and Items are the matrix row counts.
+	Users, Items int
+	// Factors is f, the latent dimensionality.
+	Factors int
+	// TrueClusters is the number of latent taste directions users are drawn
+	// around.
+	TrueClusters int
+	// UserSpread is the coordinate-wise Gaussian noise added to a user's
+	// taste direction; smaller values give tighter angular clusters
+	// (smaller θuc, stronger MAXIMUS pruning).
+	UserSpread float64
+	// NormSigma is the σ of the log-normal item-norm distribution; larger
+	// values give heavier norm skew (stronger length-based pruning).
+	NormSigma float64
+	// ItemAlign in [0,1] blends item directions toward the user taste
+	// directions; aligned items make the centroid bound more selective.
+	ItemAlign float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Users < 1:
+		return fmt.Errorf("dataset %q: Users = %d, want >= 1", c.Name, c.Users)
+	case c.Items < 1:
+		return fmt.Errorf("dataset %q: Items = %d, want >= 1", c.Name, c.Items)
+	case c.Factors < 1:
+		return fmt.Errorf("dataset %q: Factors = %d, want >= 1", c.Name, c.Factors)
+	case c.TrueClusters < 1:
+		return fmt.Errorf("dataset %q: TrueClusters = %d, want >= 1", c.Name, c.TrueClusters)
+	case c.UserSpread < 0:
+		return fmt.Errorf("dataset %q: negative UserSpread", c.Name)
+	case c.NormSigma < 0:
+		return fmt.Errorf("dataset %q: negative NormSigma", c.Name)
+	case c.ItemAlign < 0 || c.ItemAlign > 1:
+		return fmt.Errorf("dataset %q: ItemAlign %v outside [0,1]", c.Name, c.ItemAlign)
+	}
+	return nil
+}
+
+// Model is a generated user/item factor pair.
+type Model struct {
+	Config Config
+	Users  *mat.Matrix
+	Items  *mat.Matrix
+}
+
+// Generate materializes the model described by cfg.
+func Generate(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := cfg.Factors
+
+	// Latent taste directions on the unit sphere.
+	tastes := mat.New(cfg.TrueClusters, f)
+	for c := 0; c < cfg.TrueClusters; c++ {
+		row := tastes.Row(c)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if mat.Normalize(row) == 0 {
+			row[0] = 1
+		}
+	}
+
+	users := mat.New(cfg.Users, f)
+	for i := 0; i < cfg.Users; i++ {
+		taste := tastes.Row(rng.Intn(cfg.TrueClusters))
+		row := users.Row(i)
+		for j := 0; j < f; j++ {
+			row[j] = taste[j] + rng.NormFloat64()*cfg.UserSpread
+		}
+		// User magnitudes vary mildly, as trained MF factors do.
+		mat.Scale(row, math.Exp(rng.NormFloat64()*0.25))
+	}
+
+	items := mat.New(cfg.Items, f)
+	dir := make([]float64, f)
+	for i := 0; i < cfg.Items; i++ {
+		taste := tastes.Row(rng.Intn(cfg.TrueClusters))
+		for j := 0; j < f; j++ {
+			iso := rng.NormFloat64()
+			dir[j] = cfg.ItemAlign*taste[j] + (1-cfg.ItemAlign)*iso
+		}
+		if mat.Normalize(dir) == 0 {
+			dir[0] = 1
+		}
+		norm := math.Exp(rng.NormFloat64() * cfg.NormSigma)
+		row := items.Row(i)
+		for j := 0; j < f; j++ {
+			row[j] = dir[j] * norm
+		}
+	}
+	return &Model{Config: cfg, Users: users, Items: items}, nil
+}
+
+// Scale returns a copy of cfg with user and item counts multiplied by s
+// (minimum 1 each). Factors and distributional knobs are untouched — the
+// regime survives scaling.
+func (c Config) Scale(s float64) Config {
+	if s <= 0 {
+		return c
+	}
+	c.Users = scaleCount(c.Users, s)
+	c.Items = scaleCount(c.Items, s)
+	return c
+}
+
+func scaleCount(n int, s float64) int {
+	v := int(math.Round(float64(n) * s))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// NormSkew summarizes the item-norm distribution of a model: the ratio of
+// the 95th to the 50th percentile norm. Diagnostic for tests and reports.
+func (m *Model) NormSkew() float64 {
+	norms := m.Items.RowNorms()
+	sort.Float64s(norms)
+	p50 := norms[len(norms)/2]
+	p95 := norms[(len(norms)*95)/100]
+	if p50 == 0 {
+		return math.Inf(1)
+	}
+	return p95 / p50
+}

@@ -1,0 +1,236 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"optimus/internal/kmeans"
+	"optimus/internal/mat"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Name: "x", Users: 2, Items: 2, Factors: 2, TrueClusters: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{Users: 0, Items: 2, Factors: 2, TrueClusters: 1},
+		{Users: 2, Items: 0, Factors: 2, TrueClusters: 1},
+		{Users: 2, Items: 2, Factors: 0, TrueClusters: 1},
+		{Users: 2, Items: 2, Factors: 2, TrueClusters: 0},
+		{Users: 2, Items: 2, Factors: 2, TrueClusters: 1, UserSpread: -1},
+		{Users: 2, Items: 2, Factors: 2, TrueClusters: 1, NormSigma: -1},
+		{Users: 2, Items: 2, Factors: 2, TrueClusters: 1, ItemAlign: 2},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := Generate(cases[0]); err == nil {
+		t.Fatal("Generate must reject invalid configs")
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	cfg := Config{Name: "t", Users: 50, Items: 80, Factors: 7, TrueClusters: 3,
+		UserSpread: 0.3, NormSigma: 0.5, ItemAlign: 0.4, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Users.Rows() != 50 || a.Users.Cols() != 7 || a.Items.Rows() != 80 || a.Items.Cols() != 7 {
+		t.Fatalf("shapes wrong: %dx%d users, %dx%d items",
+			a.Users.Rows(), a.Users.Cols(), a.Items.Rows(), a.Items.Cols())
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Users.Equal(b.Users, 0) || !a.Items.Equal(b.Items, 0) {
+		t.Fatal("same seed must generate identical models")
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Users.Equal(c.Users, 0) {
+		t.Fatal("different seeds must generate different models")
+	}
+}
+
+func TestNormSigmaControlsSkew(t *testing.T) {
+	base := Config{Name: "t", Users: 20, Items: 2000, Factors: 8, TrueClusters: 4,
+		UserSpread: 0.3, ItemAlign: 0.3, Seed: 1}
+	flat := base
+	flat.NormSigma = 0.05
+	skewed := base
+	skewed.NormSigma = 1.2
+	mFlat, err := Generate(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSkew, err := Generate(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSkew.NormSkew() < 2*mFlat.NormSkew() {
+		t.Fatalf("skew knob ineffective: flat %.2f vs skewed %.2f",
+			mFlat.NormSkew(), mSkew.NormSkew())
+	}
+}
+
+func TestUserSpreadControlsClusterTightness(t *testing.T) {
+	base := Config{Name: "t", Users: 400, Items: 10, Factors: 8, TrueClusters: 4,
+		NormSigma: 0.3, ItemAlign: 0.3, Seed: 2}
+	tight := base
+	tight.UserSpread = 0.05
+	loose := base
+	loose.UserSpread = 1.0
+	meanTheta := func(c Config) float64 {
+		m, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := kmeans.Run(m.Users, kmeans.Config{K: 4, Iterations: 5, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kmeans.MeanAngle(m.Users, res)
+	}
+	tt, lt := meanTheta(tight), meanTheta(loose)
+	if tt >= lt {
+		t.Fatalf("tight spread should give smaller angles: %.3f vs %.3f", tt, lt)
+	}
+	if tt > 0.2 {
+		t.Fatalf("tight clusters should have mean θuc < 0.2 rad, got %.3f", tt)
+	}
+}
+
+func TestRegistryCoversPaperModels(t *testing.T) {
+	regs := Registry()
+	if len(regs) != 23 {
+		t.Fatalf("registry has %d models, the paper evaluates 23", len(regs))
+	}
+	seen := map[string]bool{}
+	for _, c := range regs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("registry model %s invalid: %v", c.Name, err)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate registry name %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	// Spot-check the paper's named models.
+	for _, want := range []string{
+		"netflix-dsgd-50", "netflix-nomad-25", "netflix-bpr-100",
+		"r2-nomad-50", "kdd-nomad-10", "kdd-ref-51", "glove-200",
+	} {
+		if !seen[want] {
+			t.Fatalf("registry missing %s", want)
+		}
+	}
+}
+
+func TestRegistryShapesFollowTableI(t *testing.T) {
+	// Table I ratios: Netflix and R2 are user-heavy; KDD has items of the
+	// same order as users; GloVe is item-heavy.
+	nf, _ := ByName("netflix-dsgd-50")
+	if nf.Users <= nf.Items {
+		t.Fatal("netflix must be user-heavy")
+	}
+	gl, _ := ByName("glove-100")
+	if gl.Items <= gl.Users {
+		t.Fatal("glove must be item-heavy")
+	}
+	r2, _ := ByName("r2-nomad-50")
+	if r2.Users <= r2.Items {
+		t.Fatal("r2 must be user-heavy")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, err := ByName("nonsense"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	names := Names()
+	if len(names) != 23 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	c, err := ByName(names[0])
+	if err != nil || c.Name != names[0] {
+		t.Fatalf("ByName round trip failed: %v %v", c, err)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	fams := Families()
+	if len(fams) != 7 {
+		t.Fatalf("expected 7 families, got %d", len(fams))
+	}
+	for _, fam := range fams {
+		models, err := FamilyModels(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(models) == 0 {
+			t.Fatalf("family %s has no models", fam)
+		}
+		for _, m := range models {
+			if !strings.HasPrefix(m.Name, fam+"-") {
+				t.Fatalf("model %s not in family %s", m.Name, fam)
+			}
+		}
+	}
+	if _, err := FamilyModels("nope"); err == nil {
+		t.Fatal("expected unknown-family error")
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := Config{Name: "t", Users: 1000, Items: 500, Factors: 8, TrueClusters: 4}
+	s := c.Scale(0.1)
+	if s.Users != 100 || s.Items != 50 {
+		t.Fatalf("Scale(0.1) = %d users, %d items", s.Users, s.Items)
+	}
+	if s.Factors != 8 {
+		t.Fatal("Scale must not touch factors")
+	}
+	tiny := c.Scale(0.00001)
+	if tiny.Users < 1 || tiny.Items < 1 {
+		t.Fatal("Scale must clamp to 1")
+	}
+	same := c.Scale(0)
+	if same.Users != 1000 {
+		t.Fatal("non-positive scale must be a no-op")
+	}
+}
+
+func TestRegimeSeparation(t *testing.T) {
+	// The registry's whole purpose: Netflix-like configs must be much less
+	// prunable than R2-like configs. Compare 95/50 norm skew.
+	nfCfg, _ := ByName("netflix-bpr-10")
+	r2Cfg, _ := ByName("r2-nomad-10")
+	nf, err := Generate(nfCfg.Scale(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Generate(r2Cfg.Scale(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.NormSkew() < 1.5*nf.NormSkew() {
+		t.Fatalf("regimes not separated: netflix skew %.2f, r2 skew %.2f",
+			nf.NormSkew(), r2.NormSkew())
+	}
+}
+
+func TestNormSkewDegenerate(t *testing.T) {
+	m := &Model{Items: mat.New(10, 3)}
+	if !math.IsInf(m.NormSkew(), 1) {
+		t.Fatal("all-zero items should report infinite skew")
+	}
+}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The registry mirrors the paper's 23 reference models (§V-A). Row counts
+// are scaled from Table I so that the full Fig 5 grid runs in minutes —
+// Netflix keeps its users ≫ items shape, KDD and GloVe keep items-heavy
+// shapes — and the distributional knobs are set per family to reproduce the
+// winner regimes the paper reports:
+//
+//   - Netflix models: mild norm skew, diffuse users → BMM-friendly
+//     (Fig 2 left; BMM wins most Netflix rows of Fig 5).
+//   - R2 / KDD models: heavy norm skew, tight user clusters →
+//     index-friendly (Fig 2 right; LEMP/MAXIMUS win those rows).
+//   - GloVe: many items, moderate skew → mixed winners.
+//
+// Seeds are fixed per model so every experiment sees identical data.
+
+// family bundles the knobs shared by one dataset family.
+type family struct {
+	users, items int
+	trueClusters int
+	userSpread   float64
+	normSigma    float64
+	itemAlign    float64
+}
+
+var families = map[string]family{
+	"netflix-dsgd":  {users: 4800, items: 1777, trueClusters: 8, userSpread: 0.60, normSigma: 0.25, itemAlign: 0.20},
+	"netflix-nomad": {users: 4800, items: 1777, trueClusters: 8, userSpread: 0.45, normSigma: 0.40, itemAlign: 0.30},
+	"netflix-bpr":   {users: 4800, items: 1777, trueClusters: 8, userSpread: 0.80, normSigma: 0.15, itemAlign: 0.10},
+	"r2-nomad":      {users: 6000, items: 2700, trueClusters: 10, userSpread: 0.12, normSigma: 0.90, itemAlign: 0.50},
+	"kdd-nomad":     {users: 4000, items: 5000, trueClusters: 10, userSpread: 0.15, normSigma: 1.10, itemAlign: 0.50},
+	"kdd-ref":       {users: 4000, items: 5000, trueClusters: 10, userSpread: 0.20, normSigma: 0.90, itemAlign: 0.40},
+	"glove":         {users: 1000, items: 8700, trueClusters: 12, userSpread: 0.35, normSigma: 0.50, itemAlign: 0.30},
+}
+
+var familyFactors = map[string][]int{
+	"netflix-dsgd":  {10, 50, 100},
+	"netflix-nomad": {10, 25, 50, 100},
+	"netflix-bpr":   {10, 25, 50, 100},
+	"r2-nomad":      {10, 25, 50, 100},
+	"kdd-nomad":     {10, 25, 50, 100},
+	"kdd-ref":       {51},
+	"glove":         {50, 100, 200},
+}
+
+// familyOrder fixes the presentation order used in Fig 5.
+var familyOrder = []string{
+	"netflix-dsgd", "netflix-nomad", "netflix-bpr",
+	"r2-nomad", "kdd-nomad", "kdd-ref", "glove",
+}
+
+// Registry returns configs for all 23 reference models in Fig 5 order.
+func Registry() []Config {
+	var out []Config
+	for _, fam := range familyOrder {
+		fm := families[fam]
+		for _, f := range familyFactors[fam] {
+			out = append(out, Config{
+				Name:         fmt.Sprintf("%s-%d", fam, f),
+				Users:        fm.users,
+				Items:        fm.items,
+				Factors:      f,
+				TrueClusters: fm.trueClusters,
+				UserSpread:   fm.userSpread,
+				NormSigma:    fm.normSigma,
+				ItemAlign:    fm.itemAlign,
+				Seed:         seedFor(fam, f),
+			})
+		}
+	}
+	return out
+}
+
+// seedFor derives a stable per-model seed from the family name and factor
+// count.
+func seedFor(fam string, f int) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range fam {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	return h*31 + int64(f)
+}
+
+// ByName returns the registry config with the given name.
+func ByName(name string) (Config, error) {
+	for _, c := range Registry() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("dataset: unknown model %q (see Names())", name)
+}
+
+// Names lists all registry model names in Fig 5 order.
+func Names() []string {
+	regs := Registry()
+	names := make([]string, len(regs))
+	for i, c := range regs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Families lists the dataset family prefixes in Fig 5 order.
+func Families() []string {
+	out := make([]string, len(familyOrder))
+	copy(out, familyOrder)
+	return out
+}
+
+// FamilyModels returns the registry configs belonging to one family.
+func FamilyModels(fam string) ([]Config, error) {
+	if _, ok := families[fam]; !ok {
+		known := Families()
+		sort.Strings(known)
+		return nil, fmt.Errorf("dataset: unknown family %q (known: %v)", fam, known)
+	}
+	var out []Config
+	for _, c := range Registry() {
+		if len(c.Name) > len(fam) && c.Name[:len(fam)] == fam && c.Name[len(fam)] == '-' {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,433 @@
+// Package lemp re-implements the LEMP index of Teflioudi et al. (SIGMOD 2015 /
+// TODS 2016), the state-of-the-art exact MIPS baseline the paper benchmarks
+// MAXIMUS and OPTIMUS against (§II-C). The variant implemented is LEMP-LI —
+// length-based plus incremental pruning — which the LEMP authors report as
+// their consistently fastest configuration and which the paper benchmarks.
+//
+// Structure: item vectors are sorted by Euclidean norm in descending order
+// and partitioned into buckets of roughly equal cardinality. A user's top-K
+// query walks buckets in norm order; once the bucket's largest norm cannot
+// beat the current K-th score (‖u‖·ℓmax ≤ θ) the walk stops. Within a bucket
+// the candidate subproblem is solved by one of three retrieval routines —
+// LENGTH (norm pruning), INCR (partial inner products with a Cauchy–Schwarz
+// tail bound), or NAIVE (full scan) — chosen per bucket by timing each
+// routine on a small sample of users, exactly the runtime adaptation that
+// the paper observes makes LEMP's sampled runtime estimates noisy (Fig 7).
+package lemp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"optimus/internal/blas"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/stats"
+	"optimus/internal/topk"
+)
+
+// Algorithm identifies a within-bucket retrieval routine.
+type Algorithm int
+
+// Within-bucket retrieval routines.
+const (
+	AlgoLength Algorithm = iota // norm-product pruning, items in norm order
+	AlgoIncr                    // partial inner products + Cauchy–Schwarz tail
+	AlgoNaive                   // unpruned scan
+	numAlgos
+)
+
+// String returns the routine name as used in LEMP's literature.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoLength:
+		return "LENGTH"
+	case AlgoIncr:
+		return "INCR"
+	case AlgoNaive:
+		return "NAIVE"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config controls index construction and tuning.
+type Config struct {
+	// BucketSize is the number of items per bucket (last bucket may be
+	// smaller). The LEMP paper uses cardinality-balanced buckets sized so a
+	// bucket fits in cache; 512 items ≈ 400 KB at f=100.
+	BucketSize int
+	// TuneSample is the number of users timed per retrieval routine when
+	// choosing each bucket's algorithm. 0 disables tuning and uses INCR
+	// everywhere (the "LI" default).
+	TuneSample int
+	// Threads parallelizes QueryAll across users.
+	Threads int
+	// Seed drives tuning-sample selection.
+	Seed int64
+}
+
+// DefaultConfig mirrors the settings used for the paper's benchmarks.
+func DefaultConfig() Config {
+	return Config{BucketSize: 512, TuneSample: 24, Threads: 1, Seed: 1}
+}
+
+type bucket struct {
+	lo, hi  int     // range in sorted-item order
+	maxNorm float64 // norm of the first (largest) item in the bucket
+}
+
+// tuning holds the per-bucket algorithm choices for one value of k.
+type tuning struct {
+	algos []Algorithm
+}
+
+// Index is a built LEMP index. It is read-only after Build and safe for
+// concurrent queries.
+type Index struct {
+	cfg   Config
+	users *mat.Matrix
+
+	// Items reordered by descending norm; row s is the s-th largest item.
+	sorted *mat.Matrix
+	// ids maps sorted position -> original item id.
+	ids []int
+	// norms[s] = ‖sorted.Row(s)‖, non-increasing.
+	norms []float64
+	// Suffix norms at the two INCR checkpoints: suffix1[s] covers
+	// coordinates [cp1, f), suffix2[s] covers [cp2, f).
+	cp1, cp2         int
+	suffix1, suffix2 []float64
+
+	buckets []bucket
+
+	mu      sync.Mutex
+	tunings map[int]*tuning
+
+	buildTime time.Duration
+}
+
+// New returns an unbuilt LEMP index with the given configuration.
+// Zero-valued fields fall back to DefaultConfig values.
+func New(cfg Config) *Index {
+	def := DefaultConfig()
+	if cfg.BucketSize <= 0 {
+		cfg.BucketSize = def.BucketSize
+	}
+	if cfg.TuneSample < 0 {
+		cfg.TuneSample = 0
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	return &Index{cfg: cfg}
+}
+
+// Name implements mips.Solver.
+func (x *Index) Name() string { return "LEMP" }
+
+// Batches implements mips.Solver. LEMP answers one user at a time.
+func (x *Index) Batches() bool { return false }
+
+// BuildTime returns the wall-clock cost of the last Build call — the index
+// construction time Fig 4 compares against retrieval time.
+func (x *Index) BuildTime() time.Duration { return x.buildTime }
+
+// Build implements mips.Solver: sorts items by norm, forms buckets, and
+// precomputes the INCR suffix norms.
+func (x *Index) Build(users, items *mat.Matrix) error {
+	start := time.Now()
+	if err := mips.ValidateInputs(users, items); err != nil {
+		return err
+	}
+	x.users = users
+	n := items.Rows()
+	f := items.Cols()
+
+	norms := items.RowNorms()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if norms[order[a]] != norms[order[b]] {
+			return norms[order[a]] > norms[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	x.ids = order
+	x.sorted = items.SelectRows(order)
+	x.norms = make([]float64, n)
+	for s, id := range order {
+		x.norms[s] = norms[id]
+	}
+
+	x.cp1 = f / 4
+	x.cp2 = f / 2
+	if x.cp1 < 1 {
+		x.cp1 = 1
+	}
+	if x.cp2 <= x.cp1 {
+		x.cp2 = x.cp1 + 1
+	}
+	if x.cp2 > f {
+		x.cp2 = f
+	}
+	x.suffix1 = make([]float64, n)
+	x.suffix2 = make([]float64, n)
+	for s := 0; s < n; s++ {
+		row := x.sorted.Row(s)
+		x.suffix1[s] = mat.Norm(row[x.cp1:])
+		x.suffix2[s] = mat.Norm(row[x.cp2:])
+	}
+
+	x.buckets = x.buckets[:0]
+	for lo := 0; lo < n; lo += x.cfg.BucketSize {
+		hi := lo + x.cfg.BucketSize
+		if hi > n {
+			hi = n
+		}
+		x.buckets = append(x.buckets, bucket{lo: lo, hi: hi, maxNorm: x.norms[lo]})
+	}
+	x.tunings = make(map[int]*tuning)
+	x.buildTime = time.Since(start)
+	return nil
+}
+
+// Query implements mips.Solver.
+func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
+	if x.sorted == nil {
+		return nil, fmt.Errorf("lemp: Query before Build")
+	}
+	if err := mips.ValidateK(k, x.sorted.Rows()); err != nil {
+		return nil, err
+	}
+	tn := x.tuningFor(k)
+	out := make([][]topk.Entry, len(userIDs))
+	run := func(lo, hi int) error {
+		scratch := newScratch(x.sorted.Cols())
+		for qi := lo; qi < hi; qi++ {
+			u := userIDs[qi]
+			if u < 0 || u >= x.users.Rows() {
+				return fmt.Errorf("lemp: user id %d out of range [0,%d)", u, x.users.Rows())
+			}
+			out[qi] = x.queryOne(x.users.Row(u), k, tn, scratch, nil)
+		}
+		return nil
+	}
+	if err := parallelRanges(len(userIDs), x.cfg.Threads, run); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QueryAll implements mips.Solver.
+func (x *Index) QueryAll(k int) ([][]topk.Entry, error) {
+	if x.users == nil {
+		return nil, fmt.Errorf("lemp: QueryAll before Build")
+	}
+	return x.Query(mips.AllUserIDs(x.users.Rows()), k)
+}
+
+// ChosenAlgorithms returns the per-bucket routine selection for depth k,
+// tuning first if needed. Exposed for the tuning tests and the ablation
+// experiments.
+func (x *Index) ChosenAlgorithms(k int) []Algorithm {
+	tn := x.tuningFor(k)
+	out := make([]Algorithm, len(tn.algos))
+	copy(out, tn.algos)
+	return out
+}
+
+// scratch holds per-goroutine temporaries reused across users.
+type scratch struct {
+	usuf1, usuf2 float64
+	bucketTimes  [][numAlgos]time.Duration
+}
+
+func newScratch(f int) *scratch { return &scratch{} }
+
+// tuningFor returns (building if necessary) the per-bucket algorithm choice
+// for depth k. LEMP's runtime adaptation: each routine is timed on a user
+// sample and each bucket keeps its fastest.
+func (x *Index) tuningFor(k int) *tuning {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if tn, ok := x.tunings[k]; ok {
+		return tn
+	}
+	tn := &tuning{algos: make([]Algorithm, len(x.buckets))}
+	if x.cfg.TuneSample == 0 {
+		for b := range tn.algos {
+			tn.algos[b] = AlgoIncr
+		}
+		x.tunings[k] = tn
+		return tn
+	}
+	sampleRng := rand.New(rand.NewSource(x.cfg.Seed))
+	sample := stats.SampleWithoutReplacement(sampleRng, x.users.Rows(), x.cfg.TuneSample)
+
+	times := make([][numAlgos]time.Duration, len(x.buckets))
+	scr := newScratch(x.sorted.Cols())
+	for a := Algorithm(0); a < numAlgos; a++ {
+		forced := &tuning{algos: make([]Algorithm, len(x.buckets))}
+		for b := range forced.algos {
+			forced.algos[b] = a
+		}
+		scr.bucketTimes = times
+		for _, u := range sample {
+			x.queryOne(x.users.Row(u), k, forced, scr, &a)
+		}
+		scr.bucketTimes = nil
+	}
+	for b := range tn.algos {
+		best, bestT := AlgoLength, times[b][AlgoLength]
+		for a := Algorithm(1); a < numAlgos; a++ {
+			if times[b][a] < bestT {
+				best, bestT = a, times[b][a]
+			}
+		}
+		tn.algos[b] = best
+	}
+	x.tunings[k] = tn
+	return tn
+}
+
+// queryOne answers one user's top-k. If timeAlgo is non-nil, per-bucket
+// elapsed time is accumulated into scratch.bucketTimes[*][*timeAlgo].
+func (x *Index) queryOne(user []float64, k int, tn *tuning, scr *scratch, timeAlgo *Algorithm) []topk.Entry {
+	unorm := mat.Norm(user)
+	scr.usuf1 = mat.Norm(user[x.cp1:])
+	scr.usuf2 = mat.Norm(user[x.cp2:])
+	h := topk.New(k)
+	for b, bk := range x.buckets {
+		// Pruning must survive two hazards: an exact tie can still enter the
+		// heap via the lower-item-id rule, and the bound itself is computed
+		// in floating point (‖u‖·‖i‖ underestimates u·i when the vectors are
+		// parallel: Cauchy–Schwarz equality meets sqrt rounding). So prune
+		// only when the bound trails the threshold by more than fp slack.
+		if thr, full := h.Threshold(); full && unorm*bk.maxNorm < thr-slack(thr) {
+			break
+		}
+		var begin time.Time
+		if timeAlgo != nil {
+			begin = time.Now()
+		}
+		switch tn.algos[b] {
+		case AlgoLength:
+			x.scanLength(user, unorm, bk, h)
+		case AlgoIncr:
+			x.scanIncr(user, unorm, bk, h, scr)
+		default:
+			x.scanNaive(user, bk, h)
+		}
+		if timeAlgo != nil {
+			scr.bucketTimes[b][*timeAlgo] += time.Since(begin)
+		}
+	}
+	return h.Sorted()
+}
+
+// scanLength walks the bucket in norm order pruning on ‖u‖·‖i‖.
+func (x *Index) scanLength(user []float64, unorm float64, bk bucket, h *topk.Heap) {
+	for s := bk.lo; s < bk.hi; s++ {
+		if thr, full := h.Threshold(); full && unorm*x.norms[s] < thr-slack(thr) {
+			return // items are norm-sorted; the rest of the bucket is worse
+		}
+		h.Push(x.ids[s], blas.Dot(user, x.sorted.Row(s)))
+	}
+}
+
+// scanIncr adds two-checkpoint incremental pruning: a partial inner product
+// over the leading coordinates plus a Cauchy–Schwarz bound on the remainder.
+func (x *Index) scanIncr(user []float64, unorm float64, bk bucket, h *topk.Heap, scr *scratch) {
+	u1 := user[:x.cp1]
+	u12 := user[x.cp1:x.cp2]
+	u2 := user[x.cp2:]
+	for s := bk.lo; s < bk.hi; s++ {
+		thr, full := h.Threshold()
+		sl := slack(thr)
+		if full && unorm*x.norms[s] < thr-sl {
+			return
+		}
+		row := x.sorted.Row(s)
+		p1 := blas.Dot(u1, row[:x.cp1])
+		if full && p1+scr.usuf1*x.suffix1[s] < thr-sl {
+			continue // Cauchy–Schwarz: the tail cannot recover the deficit
+		}
+		p2 := p1 + blas.Dot(u12, row[x.cp1:x.cp2])
+		if full && p2+scr.usuf2*x.suffix2[s] < thr-sl {
+			continue
+		}
+		h.Push(x.ids[s], p2+blas.Dot(u2, row[x.cp2:]))
+	}
+}
+
+// scanNaive computes every inner product in the bucket.
+func (x *Index) scanNaive(user []float64, bk bucket, h *topk.Heap) {
+	for s := bk.lo; s < bk.hi; s++ {
+		h.Push(x.ids[s], blas.Dot(user, x.sorted.Row(s)))
+	}
+}
+
+// slack returns the floating-point guard band for pruning against threshold
+// thr: bounds within this distance of thr are verified exactly instead of
+// pruned, so rounding in the bound computation can never discard a true
+// top-K member (see the parallel-vectors hazard in queryOne).
+func slack(thr float64) float64 {
+	return 1e-12 * (1 + math.Abs(thr))
+}
+
+// parallelRanges splits [0, n) across up to `threads` goroutines and runs fn
+// on each subrange, returning the first error.
+func parallelRanges(n, threads int, fn func(lo, hi int) error) error {
+	if threads <= 1 || n < 2 {
+		return fn(0, n)
+	}
+	if threads > n {
+		threads = n
+	}
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo, hi := t*chunk, (t+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			errs[t] = fn(lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Buckets returns the number of buckets in the built index.
+func (x *Index) Buckets() int { return len(x.buckets) }
+
+// boundCheck is exported to tests via export_test.go: it validates that the
+// incremental bound at checkpoint cp1 really is an upper bound on the full
+// inner product for the item at sorted position s.
+func (x *Index) boundCheck(user []float64, s int) (bound, truth float64) {
+	row := x.sorted.Row(s)
+	p1 := blas.Dot(user[:x.cp1], row[:x.cp1])
+	usuf := mat.Norm(user[x.cp1:])
+	bound = p1 + usuf*x.suffix1[s]
+	truth = blas.Dot(user, row)
+	return bound, truth
+}

@@ -1,0 +1,346 @@
+package lemp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/topk"
+)
+
+// testModel builds a small MF-style input with skewed item norms so that
+// pruning actually fires.
+func testModel(rng *rand.Rand, nUsers, nItems, f int) (*mat.Matrix, *mat.Matrix) {
+	users := mat.New(nUsers, f)
+	for i := range users.Data() {
+		users.Data()[i] = rng.NormFloat64()
+	}
+	items := mat.New(nItems, f)
+	for i := 0; i < nItems; i++ {
+		scale := math.Exp(rng.NormFloat64()) // log-normal norm skew
+		row := items.Row(i)
+		for j := 0; j < f; j++ {
+			row[j] = rng.NormFloat64() * scale
+		}
+	}
+	return users, items
+}
+
+func TestBuildValidation(t *testing.T) {
+	x := New(Config{})
+	if err := x.Build(nil, nil); err == nil {
+		t.Fatal("expected error for nil inputs")
+	}
+	if err := x.Build(mat.New(2, 3), mat.New(2, 4)); err == nil {
+		t.Fatal("expected error for factor mismatch")
+	}
+	if err := x.Build(mat.New(0, 3), mat.New(2, 3)); err == nil {
+		t.Fatal("expected error for no users")
+	}
+}
+
+func TestQueryBeforeBuild(t *testing.T) {
+	x := New(Config{})
+	if _, err := x.Query([]int{0}, 1); err == nil {
+		t.Fatal("expected error for query before build")
+	}
+	if _, err := x.QueryAll(1); err == nil {
+		t.Fatal("expected error for query-all before build")
+	}
+}
+
+func TestBadK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	users, items := testModel(rng, 4, 10, 5)
+	x := New(Config{TuneSample: 0})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.QueryAll(0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := x.QueryAll(11); err == nil {
+		t.Fatal("expected error for k > |I|")
+	}
+}
+
+func TestBadUserID(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	users, items := testModel(rng, 4, 10, 5)
+	x := New(Config{TuneSample: 0})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Query([]int{4}, 1); err == nil {
+		t.Fatal("expected error for out-of-range user")
+	}
+	if _, err := x.Query([]int{-1}, 1); err == nil {
+		t.Fatal("expected error for negative user")
+	}
+}
+
+// TestExactness is the central property: LEMP must return exactly the true
+// top-K for every user, every K, with every retrieval algorithm forced.
+func TestExactness(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoLength, AlgoIncr, AlgoNaive} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				nUsers := 3 + rng.Intn(10)
+				nItems := 5 + rng.Intn(60)
+				dim := 2 + rng.Intn(20)
+				users, items := testModel(rng, nUsers, nItems, dim)
+				x := New(Config{BucketSize: 8, TuneSample: 0})
+				if err := x.Build(users, items); err != nil {
+					return false
+				}
+				// Force the algorithm under test in every bucket.
+				tn := x.tuningFor(1) // populate, then overwrite
+				for b := range tn.algos {
+					tn.algos[b] = algo
+				}
+				k := 1 + rng.Intn(min(5, nItems))
+				got, err := x.QueryAll(k)
+				if err != nil {
+					return false
+				}
+				return mips.VerifyAll(users, items, got, k, 1e-9) == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMatchesNaiveSolverIncludingTies(t *testing.T) {
+	// Integer-valued vectors force exact ties; LEMP and the naive oracle
+	// must resolve them identically (lower item id wins).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nUsers, nItems, dim := 5, 40, 4
+		users := mat.New(nUsers, dim)
+		items := mat.New(nItems, dim)
+		for i := range users.Data() {
+			users.Data()[i] = float64(rng.Intn(3))
+		}
+		for i := range items.Data() {
+			items.Data()[i] = float64(rng.Intn(3))
+		}
+		x := New(Config{BucketSize: 7, TuneSample: 0})
+		if err := x.Build(users, items); err != nil {
+			return false
+		}
+		naive := mips.NewNaive()
+		if err := naive.Build(users, items); err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(5)
+		got, err := x.QueryAll(k)
+		if err != nil {
+			return false
+		}
+		want, err := naive.QueryAll(k)
+		if err != nil {
+			return false
+		}
+		for u := range want {
+			if !topk.Equal(got[u], want[u], 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrBoundIsUpperBound(t *testing.T) {
+	// The Cauchy–Schwarz checkpoint bound must dominate the true inner
+	// product — the invariant that makes INCR pruning safe.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		users, items := testModel(rng, 3, 30, 6+rng.Intn(20))
+		x := New(Config{TuneSample: 0})
+		if err := x.Build(users, items); err != nil {
+			return false
+		}
+		for u := 0; u < users.Rows(); u++ {
+			for s := 0; s < items.Rows(); s++ {
+				bound, truth := x.boundCheck(users.Row(u), s)
+				if bound < truth-1e-9*(1+math.Abs(truth)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemsSortedByNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	users, items := testModel(rng, 5, 100, 8)
+	x := New(Config{BucketSize: 16, TuneSample: 0})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s < len(x.norms); s++ {
+		if x.norms[s] > x.norms[s-1]+1e-12 {
+			t.Fatalf("norms not descending at %d: %v > %v", s, x.norms[s], x.norms[s-1])
+		}
+	}
+	for b, bk := range x.buckets {
+		if bk.maxNorm != x.norms[bk.lo] {
+			t.Fatalf("bucket %d maxNorm mismatch", b)
+		}
+	}
+	if x.Buckets() != (100+15)/16 {
+		t.Fatalf("bucket count %d", x.Buckets())
+	}
+	// id mapping must be a permutation of [0, nItems).
+	seen := make([]bool, 100)
+	for _, id := range x.ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d in sorted order", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTuningSelectsPerBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	users, items := testModel(rng, 200, 400, 16)
+	x := New(Config{BucketSize: 64, TuneSample: 16, Seed: 7})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	algos := x.ChosenAlgorithms(5)
+	if len(algos) != x.Buckets() {
+		t.Fatalf("%d algorithm choices for %d buckets", len(algos), x.Buckets())
+	}
+	for _, a := range algos {
+		if a < 0 || a >= numAlgos {
+			t.Fatalf("invalid algorithm %v", a)
+		}
+	}
+	// Tuning must be cached: same slice contents on second ask.
+	again := x.ChosenAlgorithms(5)
+	for i := range algos {
+		if algos[i] != again[i] {
+			t.Fatal("tuning not cached deterministically")
+		}
+	}
+	// And exactness must hold with tuned (mixed) algorithms.
+	got, err := x.QueryAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyAll(users, items, got, 5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	users, items := testModel(rng, 150, 300, 12)
+	serial := New(Config{TuneSample: 0, Threads: 1})
+	parallel := New(Config{TuneSample: 0, Threads: 4})
+	if err := serial.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	a, err := serial.QueryAll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.QueryAll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a {
+		if !topk.Equal(a[u], b[u], 0) {
+			t.Fatalf("user %d: parallel result differs", u)
+		}
+	}
+}
+
+func TestRebuildReindexes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	users1, items1 := testModel(rng, 10, 30, 6)
+	users2, items2 := testModel(rng, 8, 20, 6)
+	x := New(Config{TuneSample: 0})
+	if err := x.Build(users1, items1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.QueryAll(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Build(users2, items2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := x.QueryAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("rebuild: %d results, want 8", len(got))
+	}
+	if err := mips.VerifyAll(users2, items2, got, 3, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroNormUser(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	users, items := testModel(rng, 3, 25, 5)
+	for j := 0; j < 5; j++ {
+		users.Set(1, j, 0)
+	}
+	x := New(Config{BucketSize: 4, TuneSample: 0})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	got, err := x.Query([]int{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyTopK(users.Row(1), items, got[0], 4, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTimeRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	users, items := testModel(rng, 20, 50, 6)
+	x := New(Config{TuneSample: 0})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	if x.BuildTime() <= 0 {
+		t.Fatal("BuildTime must be positive after Build")
+	}
+}
+
+func TestSolverInterfaceCompliance(t *testing.T) {
+	var _ mips.Solver = New(Config{})
+	if New(Config{}).Name() != "LEMP" || New(Config{}).Batches() {
+		t.Fatal("identity methods wrong")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

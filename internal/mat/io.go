@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Binary matrix format ("OMX1"): a little-endian header of
+//
+//	magic  [4]byte  "OMX1"
+//	rows   uint64
+//	cols   uint64
+//
+// followed by rows*cols float64 values in row-major order. This mirrors the
+// flat binary dumps the paper's reference implementations exchange between
+// the model trainers (NOMAD, DSGD) and the MIPS solvers.
+const binaryMagic = "OMX1"
+
+// WriteBinary writes m to w in the OMX1 format.
+func WriteBinary(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(m.rows))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.cols))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range m.data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads an OMX1 matrix from r.
+func ReadBinary(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("mat: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("mat: bad magic %q, want %q", magic, binaryMagic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("mat: reading header: %w", err)
+	}
+	rows := binary.LittleEndian.Uint64(hdr[0:8])
+	cols := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxElems = 1 << 34 // 128 GiB of float64s; guards corrupt headers
+	if rows > maxElems || cols > maxElems || rows*cols > maxElems {
+		return nil, fmt.Errorf("mat: unreasonable dimensions %dx%d", rows, cols)
+	}
+	m := New(int(rows), int(cols))
+	buf := make([]byte, 8*4096)
+	filled := 0
+	for filled < len(m.data) {
+		want := len(m.data) - filled
+		if want > 4096 {
+			want = 4096
+		}
+		if _, err := io.ReadFull(br, buf[:8*want]); err != nil {
+			return nil, fmt.Errorf("mat: reading data at element %d: %w", filled, err)
+		}
+		for i := 0; i < want; i++ {
+			m.data[filled+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		filled += want
+	}
+	return m, nil
+}
+
+// WriteBinaryFile writes m to path in the OMX1 format.
+func WriteBinaryFile(path string, m *Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile reads an OMX1 matrix from path.
+func ReadBinaryFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// WriteCSV writes m as comma-separated rows with %.17g precision (lossless
+// float64 round-trip). CSV is the interchange format the LEMP and FEXIPRO
+// reference repositories use for their model files.
+func WriteCSV(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', 17, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a comma- (or whitespace-) separated numeric matrix. All rows
+// must have the same number of fields; blank lines are skipped.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var rows [][]float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := splitCSVLine(text)
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mat: line %d field %d: %w", line, j+1, err)
+			}
+			row[j] = v
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("mat: line %d has %d fields, want %d", line, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromRows(rows)
+}
+
+func splitCSVLine(s string) []string {
+	if strings.ContainsRune(s, ',') {
+		parts := strings.Split(s, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts
+	}
+	return strings.Fields(s)
+}

@@ -1,0 +1,80 @@
+package mat
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n bytes, exercising every write-error branch.
+type failWriter struct {
+	n       int
+	written int
+}
+
+var errWriterFull = errors.New("writer full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		can := w.n - w.written
+		if can < 0 {
+			can = 0
+		}
+		w.written += can
+		return can, errWriterFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteBinaryErrorPropagation(t *testing.T) {
+	m := New(64, 64) // large enough to overflow any small limit
+	for _, limit := range []int{0, 2, 10, 1000} {
+		if err := WriteBinary(&failWriter{n: limit}, m); err == nil {
+			t.Fatalf("limit %d: expected write error", limit)
+		}
+	}
+}
+
+func TestWriteCSVErrorPropagation(t *testing.T) {
+	m := New(64, 8)
+	for _, limit := range []int{0, 3, 100} {
+		if err := WriteCSV(&failWriter{n: limit}, m); err == nil {
+			t.Fatalf("limit %d: expected write error", limit)
+		}
+	}
+}
+
+func TestReadBinaryHeaderTruncations(t *testing.T) {
+	// Truncation inside the magic, inside the header, and inside the data
+	// must each produce distinct, wrapped errors rather than panics.
+	var full bytes.Buffer
+	if err := WriteBinary(&full, New(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for _, cut := range []int{0, 2, 4, 12, 20, len(raw) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("cut %d: expected error", cut)
+		}
+	}
+}
+
+func TestReadBinaryRejectsHugeDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("OMX1")
+	// rows = 2^40, cols = 2^40: must be rejected before allocation.
+	hdr := make([]byte, 16)
+	hdr[5] = 1  // little-endian 2^40 in rows
+	hdr[13] = 1 // little-endian 2^40 in cols
+	buf.Write(hdr)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected dimension-sanity error")
+	}
+}
+
+func TestWriteBinaryFileErrors(t *testing.T) {
+	if err := WriteBinaryFile("/nonexistent-dir/x.omx", New(1, 1)); err == nil {
+		t.Fatal("expected create error")
+	}
+}

@@ -1,0 +1,230 @@
+// Package mat provides the dense-matrix substrate used by every MIPS solver
+// in this repository: a row-major float64 matrix with row views, norms,
+// sub-matrix selection, and (de)serialization. It deliberately stays tiny —
+// the performance-critical kernels live in internal/blas.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values. Rows are contiguous,
+// so Row(i) returns a slice aliasing the backing store; this is what lets the
+// blocked GEMM kernel and the index walkers share data with zero copies.
+//
+// The zero value is an empty 0x0 matrix ready for use with Reset.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New allocates a rows×cols zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps an existing backing slice as a rows×cols matrix without
+// copying. len(data) must be exactly rows*cols.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("mat: negative dimension %dx%d", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("mat: backing slice has %d elements, want %d", len(data), rows*cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}, nil
+}
+
+// FromRows copies a slice-of-rows into a new matrix. All rows must share the
+// same length; an empty input yields a 0x0 matrix.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("mat: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Data returns the backing slice (row-major). Mutating it mutates the matrix.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Row returns row i as a slice aliasing the backing store.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row index %d out of range [0,%d)", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: column index %d out of range [0,%d)", j, m.cols))
+	}
+	return m.Row(i)[j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: column index %d out of range [0,%d)", j, m.cols))
+	}
+	m.Row(i)[j] = v
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// RowSlice returns a new matrix that aliases rows [from, to) of m.
+// The returned matrix shares backing storage with m.
+func (m *Matrix) RowSlice(from, to int) *Matrix {
+	if from < 0 || to < from || to > m.rows {
+		panic(fmt.Sprintf("mat: row slice [%d,%d) out of range [0,%d]", from, to, m.rows))
+	}
+	return &Matrix{rows: to - from, cols: m.cols, data: m.data[from*m.cols : to*m.cols]}
+}
+
+// SelectRows copies the listed rows (in order, duplicates allowed) into a new
+// matrix. Used by the sampling optimizer and by cluster partitioning.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.cols)
+	for k, i := range idx {
+		copy(out.Row(k), m.Row(i))
+	}
+	return out
+}
+
+// Transpose returns a new cols×rows matrix with m's data transposed.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*m.rows+i] = v
+		}
+	}
+	return t
+}
+
+// RowNorms returns the Euclidean norm of every row.
+func (m *Matrix) RowNorms() []float64 {
+	norms := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		norms[i] = Norm(m.Row(i))
+	}
+	return norms
+}
+
+// MaxAbs returns the largest absolute value in the matrix, or 0 if empty.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports whether two matrices have identical shape and elements within
+// absolute tolerance tol.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of a and b. Panics if lengths differ.
+// This is the scalar reference implementation; internal/blas provides the
+// unrolled kernel used on hot paths.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Scale multiplies every element of v by alpha, in place.
+func Scale(v []float64, alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Normalize scales v to unit Euclidean norm in place and returns its original
+// norm. Zero vectors are left untouched and return 0.
+func Normalize(v []float64) float64 {
+	n := Norm(v)
+	if n == 0 {
+		return 0
+	}
+	Scale(v, 1/n)
+	return n
+}
+
+// CosAngle returns cos(θ) between a and b, clamped to [-1, 1] so that
+// math.Acos never sees a value nudged outside its domain by rounding.
+// Returns 1 (angle 0) if either vector is zero, a convention that keeps the
+// MAXIMUS bound conservative for degenerate inputs.
+func CosAngle(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	c := Dot(a, b) / (na * nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Angle returns the angle in radians between a and b, in [0, π].
+func Angle(a, b []float64) float64 {
+	return math.Acos(CosAngle(a, b))
+}
+
+// ErrShape is returned by operations whose operand shapes do not conform.
+var ErrShape = errors.New("mat: shape mismatch")

@@ -1,0 +1,376 @@
+package mat
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensions(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	if len(m.Data()) != 12 {
+		t.Fatalf("backing slice length %d, want 12", len(m.Data()))
+	}
+	for _, v := range m.Data() {
+		if v != 0 {
+			t.Fatalf("new matrix not zeroed: %v", m.Data())
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m, err := FromSlice(2, 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	// Aliasing: mutating the source must be visible.
+	data[5] = 42
+	if m.At(1, 2) != 42 {
+		t.Fatal("FromSlice must alias its input")
+	}
+	if _, err := FromSlice(2, 3, data[:5]); err == nil {
+		t.Fatal("expected error for wrong backing length")
+	}
+	if _, err := FromSlice(-1, 3, nil); err == nil {
+		t.Fatal("expected error for negative dimension")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("unexpected matrix %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected ragged-rows error")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("empty FromRows: %v %v", empty, err)
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := New(2, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias backing store")
+	}
+}
+
+func TestAtSetBounds(t *testing.T) {
+	m := New(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, 2) },
+		func() { m.Set(0, -1, 1) },
+		func() { m.Row(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected out-of-range panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestRowSlice(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	s := m.RowSlice(1, 3)
+	if s.Rows() != 2 || s.At(0, 0) != 2 || s.At(1, 1) != 3 {
+		t.Fatalf("unexpected slice %+v", s.Data())
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Fatal("RowSlice must alias parent storage")
+	}
+	if got := m.RowSlice(2, 2).Rows(); got != 0 {
+		t.Fatalf("empty slice rows = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad range")
+		}
+	}()
+	m.RowSlice(3, 1)
+}
+
+func TestSelectRows(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 0}, {2, 0}, {3, 0}})
+	s := m.SelectRows([]int{2, 0, 2})
+	want := []float64{3, 0, 1, 0, 3, 0}
+	if !reflect.DeepEqual(s.Data(), want) {
+		t.Fatalf("SelectRows = %v, want %v", s.Data(), want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := New(r, c)
+		for i := range m.Data() {
+			m.Data()[i] = rng.NormFloat64()
+		}
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowNorms(t *testing.T) {
+	m, _ := FromRows([][]float64{{3, 4}, {0, 0}, {1, 0}})
+	got := m.RowNorms()
+	want := []float64{5, 0, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("RowNorms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m, _ := FromRows([][]float64{{-7, 2}, {3, 4}})
+	if m.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", m.MaxAbs())
+	}
+	if New(0, 0).MaxAbs() != 0 {
+		t.Fatal("empty MaxAbs should be 0")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}})
+	b, _ := FromRows([][]float64{{1, 2.0000001}})
+	if !a.Equal(b, 1e-6) {
+		t.Fatal("should be equal within tolerance")
+	}
+	if a.Equal(b, 1e-9) {
+		t.Fatal("should differ at tight tolerance")
+	}
+	c := New(2, 1)
+	if a.Equal(c, 1) {
+		t.Fatal("different shapes cannot be equal")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length-mismatch panic")
+		}
+	}()
+	Dot(a, b[:2])
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	n := Normalize(v)
+	if n != 5 {
+		t.Fatalf("Normalize returned %v, want 5", n)
+	}
+	if math.Abs(Norm(v)-1) > 1e-15 {
+		t.Fatalf("normalized norm = %v", Norm(v))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 || z[0] != 0 {
+		t.Fatal("zero vector must be untouched")
+	}
+}
+
+func TestCosAngleClamping(t *testing.T) {
+	// Parallel vectors can produce cos slightly above 1 via rounding; the
+	// clamp must keep Acos in-domain.
+	a := []float64{1e-8, 2e-8, 3e-8}
+	if c := CosAngle(a, a); c != 1 {
+		t.Fatalf("CosAngle(a,a) = %v, want exactly 1 after clamp", c)
+	}
+	if ang := Angle(a, a); ang != 0 {
+		t.Fatalf("Angle(a,a) = %v, want 0", ang)
+	}
+	b := []float64{-1, 0}
+	c := []float64{1, 0}
+	if ang := Angle(b, c); math.Abs(ang-math.Pi) > 1e-12 {
+		t.Fatalf("Angle(opposite) = %v, want π", ang)
+	}
+	if CosAngle([]float64{0, 0}, c) != 1 {
+		t.Fatal("zero vector convention: CosAngle = 1")
+	}
+}
+
+func TestAngleTriangleInequality(t *testing.T) {
+	// Angular distance is a metric on the sphere: θ(a,b) ≤ θ(a,c) + θ(c,b).
+	// This is the inequality Equation 2 of the paper rests on.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(6)
+		v := func() []float64 {
+			x := make([]float64, dim)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			if Norm(x) == 0 {
+				x[0] = 1
+			}
+			return x
+		}
+		a, b, c := v(), v(), v()
+		return Angle(a, b) <= Angle(a, c)+Angle(c, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(17, 9)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m, 0) {
+		t.Fatal("binary round trip lost data")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewBufferString("NOPE")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	var buf bytes.Buffer
+	buf.WriteString("OMX1")
+	buf.Write(make([]byte, 16)) // 0x0 matrix header, no data: valid
+	if m, err := ReadBinary(&buf); err != nil || m.Rows() != 0 {
+		t.Fatalf("empty matrix read: %v %v", m, err)
+	}
+	// Truncated payload.
+	var buf2 bytes.Buffer
+	m := New(2, 2)
+	if err := WriteBinary(&buf2, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/m.omx"
+	m, _ := FromRows([][]float64{{1.5, -2.25}, {0, 3.125}})
+	if err := WriteBinaryFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m, 0) {
+		t.Fatal("file round trip lost data")
+	}
+	if _, err := ReadBinaryFile(path + ".missing"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(5, 3)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m, 0) {
+		t.Fatal("CSV round trip must be lossless at full precision")
+	}
+}
+
+func TestReadCSVVariants(t *testing.T) {
+	m, err := ReadCSV(bytes.NewBufferString("1 2 3\n\n4 5 6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.At(1, 2) != 6 {
+		t.Fatalf("whitespace CSV parse: %+v", m.Data())
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1,2\n3\n")); err == nil {
+		t.Fatal("expected ragged error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1,x\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,207 @@
+// Package mips defines the contract shared by every exact MIPS solver in the
+// repository — the brute-force baselines, the LEMP and FEXIPRO indexes, and
+// the paper's MAXIMUS — plus the naive reference oracle and the verification
+// helpers the test suite and the OPTIMUS optimizer build on.
+package mips
+
+import (
+	"fmt"
+
+	"optimus/internal/mat"
+	"optimus/internal/topk"
+)
+
+// Solver is an exact batch top-K MIPS solver. The lifecycle is
+// Build (construct index structures over fixed user/item matrices) followed
+// by any number of Query/QueryAll calls. Implementations are read-only after
+// Build and safe for concurrent Query calls.
+type Solver interface {
+	// Name identifies the solver in reports ("BMM", "MAXIMUS", "LEMP", ...).
+	Name() string
+
+	// Build prepares the solver for the given users (|U|×f) and items
+	// (|I|×f). Both matrices must share f. Build may be called again to
+	// re-index new inputs.
+	Build(users, items *mat.Matrix) error
+
+	// Query returns the exact top-k items for each listed user row, in the
+	// order given. Results follow the repository ordering convention:
+	// descending score, ascending item id on ties.
+	Query(userIDs []int, k int) ([][]topk.Entry, error)
+
+	// QueryAll returns the exact top-k items for every user.
+	QueryAll(k int) ([][]topk.Entry, error)
+
+	// Batches reports whether the solver amortizes work across the users
+	// within a single Query call (true for BMM and MAXIMUS). The OPTIMUS
+	// optimizer measures batching solvers on whole samples and reserves the
+	// incremental t-test for non-batching (point-query) solvers (§IV-A).
+	Batches() bool
+}
+
+// ValidateInputs performs the shape checks shared by all Build
+// implementations.
+func ValidateInputs(users, items *mat.Matrix) error {
+	if users == nil || items == nil {
+		return fmt.Errorf("mips: nil input matrix")
+	}
+	if users.Cols() != items.Cols() {
+		return fmt.Errorf("mips: users have %d factors, items have %d", users.Cols(), items.Cols())
+	}
+	if users.Rows() == 0 {
+		return fmt.Errorf("mips: no users")
+	}
+	if items.Rows() == 0 {
+		return fmt.Errorf("mips: no items")
+	}
+	if k := users.Cols(); k == 0 {
+		return fmt.Errorf("mips: zero latent factors")
+	}
+	return nil
+}
+
+// ValidateK checks a requested top-K depth against the item count.
+func ValidateK(k, numItems int) error {
+	if k < 1 {
+		return fmt.Errorf("mips: k must be >= 1, got %d", k)
+	}
+	if k > numItems {
+		return fmt.Errorf("mips: k=%d exceeds item count %d", k, numItems)
+	}
+	return nil
+}
+
+// Naive is the unindexed per-pair reference: a double loop of inner products
+// with heap selection, the baseline §II-B reports BLAS beating by ~40×.
+// It is the correctness oracle for every other solver.
+type Naive struct {
+	users, items *mat.Matrix
+}
+
+// NewNaive returns an unbuilt naive solver.
+func NewNaive() *Naive { return &Naive{} }
+
+// Name implements Solver.
+func (n *Naive) Name() string { return "Naive" }
+
+// Batches implements Solver; the naive loop shares no work across users.
+func (n *Naive) Batches() bool { return false }
+
+// Build implements Solver.
+func (n *Naive) Build(users, items *mat.Matrix) error {
+	if err := ValidateInputs(users, items); err != nil {
+		return err
+	}
+	n.users, n.items = users, items
+	return nil
+}
+
+// Query implements Solver.
+func (n *Naive) Query(userIDs []int, k int) ([][]topk.Entry, error) {
+	if n.users == nil {
+		return nil, fmt.Errorf("mips: Query before Build")
+	}
+	if err := ValidateK(k, n.items.Rows()); err != nil {
+		return nil, err
+	}
+	out := make([][]topk.Entry, len(userIDs))
+	for qi, u := range userIDs {
+		if u < 0 || u >= n.users.Rows() {
+			return nil, fmt.Errorf("mips: user id %d out of range [0,%d)", u, n.users.Rows())
+		}
+		h := topk.New(k)
+		urow := n.users.Row(u)
+		for j := 0; j < n.items.Rows(); j++ {
+			h.Push(j, mat.Dot(urow, n.items.Row(j)))
+		}
+		out[qi] = h.Sorted()
+	}
+	return out, nil
+}
+
+// QueryAll implements Solver.
+func (n *Naive) QueryAll(k int) ([][]topk.Entry, error) {
+	if n.users == nil {
+		return nil, fmt.Errorf("mips: QueryAll before Build")
+	}
+	ids := make([]int, n.users.Rows())
+	for i := range ids {
+		ids[i] = i
+	}
+	return n.Query(ids, k)
+}
+
+// AllUserIDs returns the identity id list [0, n).
+func AllUserIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// VerifyTopK checks that `got` is a correct exact top-k answer for user row
+// u against the given items, without requiring identical tie resolution
+// between solvers whose floating-point summation orders differ. It verifies:
+//
+//  1. the result has exactly k entries with strictly ranked ordering,
+//  2. every reported score matches the true inner product within tol,
+//  3. no unreported item beats the reported k-th score by more than tol.
+func VerifyTopK(user []float64, items *mat.Matrix, got []topk.Entry, k int, tol float64) error {
+	if len(got) != k {
+		return fmt.Errorf("mips: got %d entries, want %d", len(got), k)
+	}
+	seen := make(map[int]bool, k)
+	for rank, e := range got {
+		if e.Item < 0 || e.Item >= items.Rows() {
+			return fmt.Errorf("mips: rank %d item %d out of range", rank, e.Item)
+		}
+		if seen[e.Item] {
+			return fmt.Errorf("mips: duplicate item %d", e.Item)
+		}
+		seen[e.Item] = true
+		truth := mat.Dot(user, items.Row(e.Item))
+		if diff := abs(truth - e.Score); diff > tol*(1+abs(truth)) {
+			return fmt.Errorf("mips: rank %d item %d score %v, true %v", rank, e.Item, e.Score, truth)
+		}
+		if rank > 0 {
+			prev := got[rank-1]
+			if e.Score > prev.Score+tol {
+				return fmt.Errorf("mips: ranks %d,%d out of order (%v > %v)", rank-1, rank, e.Score, prev.Score)
+			}
+			if e.Score == prev.Score && e.Item < prev.Item {
+				return fmt.Errorf("mips: tie between items %d,%d broken wrong way", prev.Item, e.Item)
+			}
+		}
+	}
+	kth := got[k-1].Score
+	for j := 0; j < items.Rows(); j++ {
+		if seen[j] {
+			continue
+		}
+		if s := mat.Dot(user, items.Row(j)); s > kth+tol*(1+abs(s)) {
+			return fmt.Errorf("mips: missed item %d with score %v > kth %v", j, s, kth)
+		}
+	}
+	return nil
+}
+
+// VerifyAll runs VerifyTopK for every user in the result set.
+func VerifyAll(users, items *mat.Matrix, results [][]topk.Entry, k int, tol float64) error {
+	if len(results) != users.Rows() {
+		return fmt.Errorf("mips: %d results for %d users", len(results), users.Rows())
+	}
+	for u, res := range results {
+		if err := VerifyTopK(users.Row(u), items, res, k, tol); err != nil {
+			return fmt.Errorf("user %d: %w", u, err)
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

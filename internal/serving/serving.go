@@ -1,0 +1,261 @@
+// Package serving provides an online model-serving front end for the MIPS
+// solvers — the deployment setting the paper motivates in §II-A: "MAXIMUS
+// ... can also accelerate MIPS for a subset of users at a time, as might
+// happen in a model serving system like Clipper that collects tens of
+// requests at once."
+//
+// The Server accepts single-user top-K requests from any number of
+// goroutines and executes them in micro-batches: an arriving request opens a
+// batching window (MaxDelay); requests landing inside the window join the
+// batch, which is dispatched when it reaches MaxBatch or when the window
+// closes. Batching is exactly what the repository's batch solvers reward —
+// MAXIMUS shares one block multiply across the batch's users per cluster,
+// and BMM amortizes its GEMM — so throughput under concurrent load far
+// exceeds one-at-a-time serving while each request still sees bounded
+// latency.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"optimus/internal/mips"
+	"optimus/internal/topk"
+)
+
+// Config controls batching behaviour.
+type Config struct {
+	// MaxBatch dispatches a batch as soon as it holds this many requests.
+	// Default 64.
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// company. Default 2ms.
+	MaxDelay time.Duration
+	// QueueDepth bounds the number of requests waiting for a batch slot;
+	// Query blocks (or fails with ctx) when the queue is full. Default 1024.
+	QueueDepth int
+}
+
+// DefaultConfig returns the defaults documented on Config.
+func DefaultConfig() Config {
+	return Config{MaxBatch: 64, MaxDelay: 2 * time.Millisecond, QueueDepth: 1024}
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	// Requests is the number of requests answered.
+	Requests int64
+	// Batches is the number of solver dispatches.
+	Batches int64
+	// MeanBatchSize is Requests/Batches.
+	MeanBatchSize float64
+}
+
+type request struct {
+	userID int
+	k      int
+	done   chan response
+}
+
+type response struct {
+	entries []topk.Entry
+	err     error
+}
+
+// Server batches single-user requests onto a built mips.Solver.
+// Create with New, stop with Close. Safe for concurrent use.
+type Server struct {
+	cfg    Config
+	solver mips.Solver
+
+	queue chan request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	// inflight tracks Query calls that have passed the closed check, so
+	// Close can wait for them before stopping the dispatcher. Without it,
+	// a Query racing Close could enqueue into a server whose dispatcher has
+	// already drained and exited, and wait forever.
+	inflight sync.WaitGroup
+
+	mu       sync.Mutex
+	requests int64
+	batches  int64
+	closed   bool
+}
+
+// ErrClosed is returned by Query after Close.
+var ErrClosed = errors.New("serving: server closed")
+
+// New starts a server around an already-built solver. Zero-valued config
+// fields fall back to defaults.
+func New(solver mips.Solver, cfg Config) (*Server, error) {
+	if solver == nil {
+		return nil, fmt.Errorf("serving: nil solver")
+	}
+	def := DefaultConfig()
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = def.MaxBatch
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = def.MaxDelay
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = def.QueueDepth
+	}
+	s := &Server{
+		cfg:    cfg,
+		solver: solver,
+		queue:  make(chan request, cfg.QueueDepth),
+		stop:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Query answers one user's exact top-k, waiting for a batch slot. It returns
+// the solver's error for invalid ids or k, ctx.Err() on cancellation, and
+// ErrClosed after Close.
+func (s *Server) Query(ctx context.Context, userID, k int) ([]topk.Entry, error) {
+	// Registering under the lock makes enqueue-vs-Close atomic: once this
+	// succeeds the dispatcher is guaranteed to outlive the request.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	req := request{userID: userID, k: k, done: make(chan response, 1)}
+	select {
+	case s.queue <- req:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case resp := <-req.done:
+		return resp.entries, resp.err
+	case <-ctx.Done():
+		// The batch may still execute; the buffered done channel lets it
+		// complete without leaking a goroutine.
+		return nil, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Requests: s.requests, Batches: s.batches}
+	if s.batches > 0 {
+		st.MeanBatchSize = float64(s.requests) / float64(s.batches)
+	}
+	return st
+}
+
+// Close rejects new queries, waits for in-flight ones to be answered, and
+// stops the dispatcher. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// In-flight queries still hold the dispatcher; it must not exit before
+	// they are answered (or abandoned via their contexts).
+	s.inflight.Wait()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// loop is the batching dispatcher.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		// Wait for the batch-opening request.
+		var first request
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			s.drain()
+			return
+		}
+		batch := []request{first}
+		// Batching window: collect until MaxBatch or MaxDelay.
+		timer := time.NewTimer(s.cfg.MaxDelay)
+	window:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case req := <-s.queue:
+				batch = append(batch, req)
+			case <-timer.C:
+				break window
+			case <-s.stop:
+				break window
+			}
+		}
+		timer.Stop()
+		s.dispatch(batch)
+		select {
+		case <-s.stop:
+			s.drain()
+			return
+		default:
+		}
+	}
+}
+
+// drain answers everything still queued at shutdown.
+func (s *Server) drain() {
+	for {
+		select {
+		case req := <-s.queue:
+			s.dispatch([]request{req})
+		default:
+			return
+		}
+	}
+}
+
+// dispatch groups a batch by k (the solver API takes one k per call) and
+// executes each group with a single Query.
+func (s *Server) dispatch(batch []request) {
+	byK := make(map[int][]request)
+	for _, req := range batch {
+		byK[req.k] = append(byK[req.k], req)
+	}
+	for k, reqs := range byK {
+		ids := make([]int, len(reqs))
+		for i, req := range reqs {
+			ids[i] = req.userID
+		}
+		results, err := s.solver.Query(ids, k)
+		if err != nil {
+			// A bad id or k poisons only this group; answer each request
+			// individually so valid ones still succeed.
+			for _, req := range reqs {
+				r, e := s.solver.Query([]int{req.userID}, req.k)
+				if e != nil {
+					req.done <- response{err: e}
+				} else {
+					req.done <- response{entries: r[0]}
+				}
+			}
+			continue
+		}
+		for i, req := range reqs {
+			req.done <- response{entries: results[i]}
+		}
+	}
+	s.mu.Lock()
+	s.requests += int64(len(batch))
+	s.batches++
+	s.mu.Unlock()
+}

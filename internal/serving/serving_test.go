@@ -1,0 +1,251 @@
+package serving
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"optimus/internal/core"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+)
+
+func buildSolver(t testing.TB, nUsers, nItems, f int) (mips.Solver, *mat.Matrix, *mat.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	users := mat.New(nUsers, f)
+	items := mat.New(nItems, f)
+	for i := range users.Data() {
+		users.Data()[i] = rng.NormFloat64()
+	}
+	for i := range items.Data() {
+		items.Data()[i] = rng.NormFloat64()
+	}
+	s := core.NewMaximus(core.MaximusConfig{Seed: 1})
+	if err := s.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	return s, users, items
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("expected nil-solver error")
+	}
+}
+
+func TestSingleQueryExact(t *testing.T) {
+	solver, users, items := buildSolver(t, 50, 80, 6)
+	srv, err := New(solver, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := srv.Query(context.Background(), 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyTopK(users.Row(7), items, res, 5, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentQueriesAllExact(t *testing.T) {
+	solver, users, items := buildSolver(t, 200, 150, 8)
+	srv, err := New(solver, Config{MaxBatch: 32, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 16
+	const perClient = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				u := rng.Intn(200)
+				k := 1 + rng.Intn(8)
+				res, err := srv.Query(context.Background(), u, k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := mips.VerifyTopK(users.Row(u), items, res, k, 1e-9); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Requests != clients*perClient {
+		t.Fatalf("requests = %d, want %d", st.Requests, clients*perClient)
+	}
+	if st.Batches <= 0 || st.Batches > st.Requests {
+		t.Fatalf("implausible batch count %d for %d requests", st.Batches, st.Requests)
+	}
+}
+
+func TestBatchingActuallyBatches(t *testing.T) {
+	solver, _, _ := buildSolver(t, 100, 60, 6)
+	srv, err := New(solver, Config{MaxBatch: 64, MaxDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Fire a burst well inside one batching window.
+	const burst = 40
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := srv.Query(context.Background(), u%100, 3); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.MeanBatchSize < 2 {
+		t.Fatalf("burst of %d produced mean batch size %.1f; batching is not happening",
+			burst, st.MeanBatchSize)
+	}
+}
+
+func TestMixedKRequests(t *testing.T) {
+	solver, users, items := buildSolver(t, 60, 40, 5)
+	srv, err := New(solver, Config{MaxBatch: 16, MaxDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := 1 + i%4 // four distinct k values inside one batch
+			res, err := srv.Query(context.Background(), i, k)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := mips.VerifyTopK(users.Row(i), items, res, k, 1e-9); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestBadRequestDoesNotPoisonBatch(t *testing.T) {
+	solver, users, items := buildSolver(t, 30, 20, 4)
+	srv, err := New(solver, Config{MaxBatch: 8, MaxDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	results := make([]error, 4)
+	users2 := []int{5, 999, 7, -1} // two valid, two invalid
+	for i, u := range users2 {
+		wg.Add(1)
+		go func(i, u int) {
+			defer wg.Done()
+			res, err := srv.Query(context.Background(), u, 3)
+			if err == nil {
+				err = mips.VerifyTopK(users.Row(u), items, res, 3, 1e-9)
+			}
+			results[i] = err
+		}(i, u)
+	}
+	wg.Wait()
+	if results[0] != nil || results[2] != nil {
+		t.Fatalf("valid requests failed: %v %v", results[0], results[2])
+	}
+	if results[1] == nil || results[3] == nil {
+		t.Fatal("invalid user ids must fail individually")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	solver, _, _ := buildSolver(t, 30, 20, 4)
+	srv, err := New(solver, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Query(ctx, 0, 1); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestCloseIdempotentAndRejects(t *testing.T) {
+	solver, _, _ := buildSolver(t, 30, 20, 4)
+	srv, err := New(solver, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Query(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // must not panic
+	if _, err := srv.Query(context.Background(), 0, 1); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	solver, _, _ := buildSolver(t, 10, 10, 3)
+	srv, err := New(solver, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.cfg.MaxBatch != 64 || srv.cfg.MaxDelay != 2*time.Millisecond || srv.cfg.QueueDepth != 1024 {
+		t.Fatalf("defaults not applied: %+v", srv.cfg)
+	}
+}
+
+func BenchmarkServingThroughput(b *testing.B) {
+	solver, _, _ := buildSolver(b, 2000, 1000, 16)
+	for _, batch := range []int{1, 64} {
+		name := "batched"
+		if batch == 1 {
+			name = "unbatched"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv, err := New(solver, Config{MaxBatch: batch, MaxDelay: time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(7))
+				for pb.Next() {
+					if _, err := srv.Query(context.Background(), rng.Intn(2000), 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

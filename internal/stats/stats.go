@@ -1,0 +1,260 @@
+// Package stats provides the statistical machinery OPTIMUS's online
+// optimizer needs (§IV-A): streaming mean/variance accumulation (Welford),
+// an incremental one-sample t-test with an exact Student-t CDF (implemented
+// via the regularized incomplete beta function), deterministic sampling
+// helpers, and the linear runtime extrapolation used to scale sample
+// measurements up to the full user population.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Welford accumulates mean and variance in a single streaming pass with
+// O(1) state, numerically stable for the long runs of tiny per-user query
+// times the optimizer records. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with < 2 observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Sum returns n·mean, the accumulated total.
+func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
+
+// TTest is an incremental one-sample t-test of H0: mean == mu against the
+// two-sided alternative. OPTIMUS feeds it per-user index query times, with mu
+// set to BMM's estimated per-user time, and stops sampling once the test is
+// significant (§IV-A "Early Stopping with t-test"). The zero value is
+// unusable; construct with NewTTest.
+type TTest struct {
+	mu    float64
+	alpha float64
+	w     Welford
+}
+
+// NewTTest returns a t-test against reference mean mu at significance level
+// alpha (e.g. 0.05). Panics if alpha is outside (0, 1).
+func NewTTest(mu, alpha float64) *TTest {
+	if !(alpha > 0 && alpha < 1) {
+		panic(fmt.Sprintf("stats: alpha must be in (0,1), got %v", alpha))
+	}
+	return &TTest{mu: mu, alpha: alpha}
+}
+
+// Add folds one observation into the test.
+func (t *TTest) Add(x float64) { t.w.Add(x) }
+
+// N returns the observation count.
+func (t *TTest) N() int { return t.w.N() }
+
+// Mean returns the running sample mean.
+func (t *TTest) Mean() float64 { return t.w.Mean() }
+
+// P returns the current two-sided p-value, or 1 if fewer than two
+// observations (or zero variance with mean exactly at mu) make the statistic
+// undefined.
+func (t *TTest) P() float64 {
+	n := t.w.N()
+	if n < 2 {
+		return 1
+	}
+	sd := t.w.StdDev()
+	diff := t.w.Mean() - t.mu
+	if sd == 0 {
+		if diff == 0 {
+			return 1
+		}
+		return 0 // every observation identical and off-mu: maximal evidence
+	}
+	tstat := diff / (sd / math.Sqrt(float64(n)))
+	return TwoSidedP(tstat, float64(n-1))
+}
+
+// Significant reports whether the null hypothesis is rejected at the test's
+// alpha given the observations so far.
+func (t *TTest) Significant() bool { return t.P() < t.alpha }
+
+// TwoSidedP returns the two-sided p-value for a t statistic with df degrees
+// of freedom: P(|T| >= |t|).
+func TwoSidedP(t, df float64) float64 {
+	if df <= 0 {
+		return 1
+	}
+	// P(|T| >= t) = I_{df/(df+t^2)}(df/2, 1/2) for the Student-t distribution.
+	x := df / (df + t*t)
+	return RegIncBeta(df/2, 0.5, x)
+}
+
+// StudentTCDF returns P(T <= t) for a Student-t distribution with df degrees
+// of freedom.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		panic(fmt.Sprintf("stats: df must be positive, got %v", df))
+	}
+	p := 0.5 * RegIncBeta(df/2, 0.5, df/(df+t*t))
+	if t >= 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the standard continued-fraction expansion (Lentz's method), accurate
+// to ~1e-14 for the (a, b) ranges a t-test produces.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	case a <= 0 || b <= 0:
+		panic(fmt.Sprintf("stats: invalid beta parameters a=%v b=%v", a, b))
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	// The continued fraction converges fastest for x <= (a+1)/(a+b+2); use
+	// the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) otherwise. The boundary case
+	// must take the direct branch or a==b, x==1/2 would recurse forever.
+	if x <= (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - RegIncBeta(b, a, 1-x)
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return h
+		}
+	}
+	return h // converged to working precision in practice well before maxIter
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n) using a partial Fisher–Yates shuffle. Returns all n indices
+// (shuffled) if k >= n. Deterministic for a given rng state.
+func SampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("stats: negative sample parameters n=%d k=%d", n, k))
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// Extrapolate scales a measurement taken on sampleSize units up to
+// totalSize units, assuming cost linear in the unit count — valid for both
+// per-user index queries and GEMM row-batches once past cache effects
+// (§IV-A). Panics if sampleSize is not positive.
+func Extrapolate(sampleValue float64, sampleSize, totalSize int) float64 {
+	if sampleSize <= 0 {
+		panic(fmt.Sprintf("stats: non-positive sample size %d", sampleSize))
+	}
+	return sampleValue * float64(totalSize) / float64(sampleSize)
+}
+
+// Summary holds descriptive statistics for a measurement series.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs (zero Summary for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var w Welford
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		w.Add(x)
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return Summary{N: w.N(), Mean: w.Mean(), StdDev: w.StdDev(), Min: mn, Max: mx}
+}

@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			w.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(w.Mean()-mean) < 1e-10 &&
+			math.Abs(w.Variance()-variance) < 1e-8 &&
+			w.N() == n &&
+			math.Abs(w.Sum()-sum) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("zero-value Welford must report zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Fatal("single observation: mean 3, variance 0")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Fatalf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_x(2,2) = x^2(3-2x).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := x * x * (3 - 2*x)
+		if got := RegIncBeta(2, 2, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("I_%v(2,2) = %v, want %v", x, got, x)
+		}
+	}
+	// Boundaries and symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+	if RegIncBeta(3, 4, 0) != 0 || RegIncBeta(3, 4, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	for _, x := range []float64{0.13, 0.42, 0.77} {
+		lhs := RegIncBeta(2.5, 3.5, x)
+		rhs := 1 - RegIncBeta(3.5, 2.5, 1-x)
+		if math.Abs(lhs-rhs) > 1e-12 {
+			t.Fatalf("symmetry violated at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestRegIncBetaPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RegIncBeta(0, 1, 0.5)
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// df=1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/π.
+	for _, tv := range []float64{-3, -1, 0, 0.5, 2, 10} {
+		want := 0.5 + math.Atan(tv)/math.Pi
+		if got := StudentTCDF(tv, 1); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("CDF(%v; df=1) = %v, want %v", tv, got, want)
+		}
+	}
+	// Symmetry: CDF(0) = 0.5 for any df.
+	for _, df := range []float64{2, 5, 30, 200} {
+		if got := StudentTCDF(0, df); math.Abs(got-0.5) > 1e-12 {
+			t.Fatalf("CDF(0; df=%v) = %v", df, got)
+		}
+	}
+	// Large df approaches the normal distribution: CDF(1.96; 1e6) ≈ 0.975.
+	if got := StudentTCDF(1.959964, 1e6); math.Abs(got-0.975) > 1e-4 {
+		t.Fatalf("large-df CDF = %v, want ≈0.975", got)
+	}
+	// Classic table value: two-sided p for t=2.776, df=4 is 0.05.
+	if got := TwoSidedP(2.776, 4); math.Abs(got-0.05) > 5e-4 {
+		t.Fatalf("TwoSidedP(2.776, 4) = %v, want ≈0.05", got)
+	}
+}
+
+func TestStudentTCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		df := 1 + rng.Float64()*50
+		a := rng.NormFloat64() * 3
+		b := a + rng.Float64()*2
+		return StudentTCDF(a, df) <= StudentTCDF(b, df)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTestDetectsShiftedMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tt := NewTTest(0, 0.05)
+	for i := 0; i < 50; i++ {
+		tt.Add(1 + rng.NormFloat64()*0.1) // mean 1, far from mu=0
+	}
+	if !tt.Significant() {
+		t.Fatalf("clear shift not detected, p=%v", tt.P())
+	}
+}
+
+func TestTTestAcceptsNullMean(t *testing.T) {
+	// With data truly centered at mu the rejection rate should be ≈ alpha.
+	rejections := 0
+	const runs = 200
+	for r := 0; r < runs; r++ {
+		rng := rand.New(rand.NewSource(int64(r)))
+		tt := NewTTest(5, 0.05)
+		for i := 0; i < 30; i++ {
+			tt.Add(5 + rng.NormFloat64())
+		}
+		if tt.Significant() {
+			rejections++
+		}
+	}
+	if rejections > runs/5 {
+		t.Fatalf("null rejected %d/%d times, far above alpha=0.05", rejections, runs)
+	}
+}
+
+func TestTTestDegenerateCases(t *testing.T) {
+	tt := NewTTest(0, 0.05)
+	if tt.P() != 1 {
+		t.Fatal("no data: p must be 1")
+	}
+	tt.Add(3)
+	if tt.P() != 1 {
+		t.Fatal("single observation: p must be 1")
+	}
+	tt.Add(3)
+	if p := tt.P(); p != 0 {
+		t.Fatalf("identical off-mu observations: p = %v, want 0", p)
+	}
+	same := NewTTest(2, 0.05)
+	same.Add(2)
+	same.Add(2)
+	if same.P() != 1 {
+		t.Fatal("identical on-mu observations: p must be 1")
+	}
+	if same.Mean() != 2 || same.N() != 2 {
+		t.Fatal("accessor values wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad alpha")
+		}
+	}()
+	NewTTest(0, 1.5)
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := SampleWithoutReplacement(rng, 100, 10)
+	if len(s) != 10 {
+		t.Fatalf("sample size %d, want 10", len(s))
+	}
+	seen := map[int]bool{}
+	for _, i := range s {
+		if i < 0 || i >= 100 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+	if got := SampleWithoutReplacement(rng, 5, 50); len(got) != 5 {
+		t.Fatalf("k>n should return n indices, got %d", len(got))
+	}
+	if got := SampleWithoutReplacement(rng, 0, 0); len(got) != 0 {
+		t.Fatal("n=0 should return empty")
+	}
+}
+
+func TestSampleDeterministicPerSeed(t *testing.T) {
+	a := SampleWithoutReplacement(rand.New(rand.NewSource(9)), 50, 8)
+	b := SampleWithoutReplacement(rand.New(rand.NewSource(9)), 50, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same sample")
+		}
+	}
+}
+
+func TestSampleCoverageIsUniform(t *testing.T) {
+	// Every index should be sampled at a roughly uniform rate.
+	counts := make([]int, 20)
+	for trial := 0; trial < 2000; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		for _, i := range SampleWithoutReplacement(rng, 20, 5) {
+			counts[i]++
+		}
+	}
+	// Expected 500 each; allow wide slack.
+	for i, c := range counts {
+		if c < 350 || c > 650 {
+			t.Fatalf("index %d sampled %d times, expected ≈500", i, c)
+		}
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	if got := Extrapolate(2.0, 10, 100); got != 20 {
+		t.Fatalf("Extrapolate = %v, want 20", got)
+	}
+	if got := Extrapolate(5.0, 100, 100); got != 5 {
+		t.Fatalf("identity extrapolation = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero sample size")
+		}
+	}()
+	Extrapolate(1, 0, 10)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	want := math.Sqrt(5.0 / 3.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}

@@ -1,0 +1,198 @@
+// Package svd provides the small dense symmetric eigensolver FEXIPRO's
+// SVD-based pruning step requires. FEXIPRO rotates the item vectors into the
+// eigenbasis of the item Gram matrix so that vector "energy" concentrates in
+// the leading coordinates; partial inner products over those coordinates then
+// yield tight upper bounds (§VI of the paper, and Li et al., SIGMOD 2017).
+//
+// The matrices involved are f×f with f ≤ a few hundred, so a cyclic Jacobi
+// iteration is both simple and fully accurate — no need for the blocked
+// LAPACK machinery the reference implementation borrows.
+package svd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"optimus/internal/mat"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: S = VᵀΛV where
+// the rows of V are orthonormal eigenvectors and Λ = diag(Values).
+// Values are sorted in descending order and Vectors.Row(i) corresponds to
+// Values[i]. For positive semi-definite inputs (Gram matrices), Values are
+// the squared singular values of the underlying data matrix.
+type Eigen struct {
+	Values  []float64
+	Vectors *mat.Matrix
+}
+
+// Decompose diagonalizes the symmetric matrix s using cyclic Jacobi
+// rotations. The input is not modified. Returns an error if s is not square
+// or not symmetric to within a tolerance scaled by its magnitude.
+func Decompose(s *mat.Matrix) (*Eigen, error) {
+	n := s.Rows()
+	if n != s.Cols() {
+		return nil, fmt.Errorf("svd: matrix is %dx%d, want square", s.Rows(), s.Cols())
+	}
+	scale := s.MaxAbs()
+	symTol := 1e-10 * (1 + scale)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(s.At(i, j)-s.At(j, i)) > symTol {
+				return nil, fmt.Errorf("svd: matrix not symmetric at (%d,%d): %v vs %v",
+					i, j, s.At(i, j), s.At(j, i))
+			}
+		}
+	}
+	a := s.Clone()
+	v := identity(n)
+
+	const maxSweeps = 60
+	tol := 1e-14 * (1 + scale)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(a)
+		if off <= tol*float64(n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				rotate(a, v, p, q)
+			}
+		}
+	}
+
+	eig := &Eigen{Values: make([]float64, n), Vectors: mat.New(n, n)}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = a.At(i, i)
+	}
+	sort.Slice(order, func(x, y int) bool { return diag[order[x]] > diag[order[y]] })
+	for rank, idx := range order {
+		eig.Values[rank] = diag[idx]
+		// Column idx of v is the eigenvector; store it as row `rank` so that
+		// Transform is a row-major GEMV.
+		for j := 0; j < n; j++ {
+			eig.Vectors.Set(rank, j, v.At(j, idx))
+		}
+	}
+	return eig, nil
+}
+
+// Transform writes Vᵀ-rotated coordinates of x into out: out[i] is the
+// projection of x onto the i-th eigenvector. Inner products are preserved:
+// Transform(a)·Transform(b) == a·b, which is the property FEXIPRO's pruning
+// correctness rests on. out must have length len(x); x and out must not
+// alias.
+func (e *Eigen) Transform(x, out []float64) {
+	n := e.Vectors.Rows()
+	if len(x) != n || len(out) != n {
+		panic(fmt.Sprintf("svd: transform length %d/%d, want %d", len(x), len(out), n))
+	}
+	for i := 0; i < n; i++ {
+		out[i] = mat.Dot(e.Vectors.Row(i), x)
+	}
+}
+
+// TransformMatrix returns a new matrix whose rows are the transformed rows
+// of m.
+func (e *Eigen) TransformMatrix(m *mat.Matrix) *mat.Matrix {
+	out := mat.New(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		e.Transform(m.Row(i), out.Row(i))
+	}
+	return out
+}
+
+// Gram returns the f×f Gram matrix (1/n)·AᵀA of the rows of a — the
+// symmetric input FEXIPRO decomposes. Normalizing by n keeps magnitudes
+// comparable across dataset sizes.
+func Gram(a *mat.Matrix) *mat.Matrix {
+	f := a.Cols()
+	g := mat.New(f, f)
+	inv := 1.0
+	if a.Rows() > 0 {
+		inv = 1 / float64(a.Rows())
+	}
+	for r := 0; r < a.Rows(); r++ {
+		row := a.Row(r)
+		for i := 0; i < f; i++ {
+			gi := g.Row(i)
+			vi := row[i]
+			if vi == 0 {
+				continue
+			}
+			for j := i; j < f; j++ {
+				gi[j] += vi * row[j]
+			}
+		}
+	}
+	for i := 0; i < f; i++ {
+		for j := i; j < f; j++ {
+			v := g.At(i, j) * inv
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}
+
+func identity(n int) *mat.Matrix {
+	m := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+func offDiagNorm(a *mat.Matrix) float64 {
+	var s float64
+	n := a.Rows()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := a.At(i, j)
+			s += 2 * v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// rotate applies one Jacobi rotation zeroing a[p][q], updating the
+// accumulated eigenvector matrix v.
+func rotate(a, v *mat.Matrix, p, q int) {
+	apq := a.At(p, q)
+	if apq == 0 {
+		return
+	}
+	app, aqq := a.At(p, p), a.At(q, q)
+	theta := (aqq - app) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	n := a.Rows()
+	for k := 0; k < n; k++ {
+		akp, akq := a.At(k, p), a.At(k, q)
+		a.Set(k, p, c*akp-s*akq)
+		a.Set(k, q, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		apk, aqk := a.At(p, k), a.At(q, k)
+		a.Set(p, k, c*apk-s*aqk)
+		a.Set(q, k, s*apk+c*aqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}

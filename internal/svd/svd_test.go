@@ -1,0 +1,249 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/mat"
+)
+
+func randomSymmetric(rng *rand.Rand, n int) *mat.Matrix {
+	s := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			s.Set(i, j, v)
+			s.Set(j, i, v)
+		}
+	}
+	return s
+}
+
+func TestDecomposeRejectsBadInput(t *testing.T) {
+	if _, err := Decompose(mat.New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+	asym, _ := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := Decompose(asym); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+}
+
+func TestDecomposeDiagonal(t *testing.T) {
+	s, _ := mat.FromRows([][]float64{{3, 0, 0}, {0, -1, 0}, {0, 0, 7}})
+	e, err := Decompose(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 3, -1}
+	for i, v := range want {
+		if math.Abs(e.Values[i]-v) > 1e-12 {
+			t.Fatalf("Values = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestDecomposeKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1)/√2, (1,-1)/√2.
+	s, _ := mat.FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := Decompose(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Fatalf("Values = %v, want [3 1]", e.Values)
+	}
+	v0 := e.Vectors.Row(0)
+	if math.Abs(math.Abs(v0[0])-math.Sqrt2/2) > 1e-10 || math.Abs(v0[0]-v0[1]) > 1e-10 {
+		t.Fatalf("leading eigenvector %v, want ±(1,1)/√2", v0)
+	}
+}
+
+func TestEigenvectorsOrthonormal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		e, err := Decompose(randomSymmetric(rng, n))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d := mat.Dot(e.Vectors.Row(i), e.Vectors.Row(j))
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if math.Abs(d-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenEquationHolds(t *testing.T) {
+	// S·v = λ·v for every eigenpair.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		s := randomSymmetric(rng, n)
+		e, err := Decompose(s)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			v := e.Vectors.Row(i)
+			for r := 0; r < n; r++ {
+				sv := mat.Dot(s.Row(r), v)
+				if math.Abs(sv-e.Values[i]*v[r]) > 1e-8*(1+s.MaxAbs()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e, err := Decompose(randomSymmetric(rng, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Fatalf("values not descending: %v", e.Values)
+		}
+	}
+}
+
+func TestTransformPreservesInnerProducts(t *testing.T) {
+	// The FEXIPRO correctness property: rotation preserves dot products.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		data := mat.New(20, n)
+		for i := range data.Data() {
+			data.Data()[i] = rng.NormFloat64()
+		}
+		e, err := Decompose(Gram(data))
+		if err != nil {
+			return false
+		}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		ta := make([]float64, n)
+		tb := make([]float64, n)
+		e.Transform(a, ta)
+		e.Transform(b, tb)
+		want := mat.Dot(a, b)
+		got := mat.Dot(ta, tb)
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformConcentratesEnergy(t *testing.T) {
+	// For correlated data, the leading transformed coordinates must carry
+	// more energy than trailing ones on average — the property that makes
+	// FEXIPRO's partial inner products prune anything at all.
+	rng := rand.New(rand.NewSource(6))
+	n, f := 500, 16
+	data := mat.New(n, f)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64()
+		row := data.Row(i)
+		for j := 0; j < f; j++ {
+			// Strong shared component => dominant first principal direction.
+			row[j] = base*2 + rng.NormFloat64()*0.3
+		}
+	}
+	e, err := Decompose(Gram(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := e.TransformMatrix(data)
+	var headEnergy, totalEnergy float64
+	half := f / 2
+	for i := 0; i < n; i++ {
+		row := tr.Row(i)
+		for j, v := range row {
+			totalEnergy += v * v
+			if j < half {
+				headEnergy += v * v
+			}
+		}
+	}
+	if headEnergy < 0.9*totalEnergy {
+		t.Fatalf("leading half carries %.1f%% of energy, want > 90%%",
+			100*headEnergy/totalEnergy)
+	}
+}
+
+func TestTransformLengthPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, err := Decompose(randomSymmetric(rng, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length panic")
+		}
+	}()
+	e.Transform(make([]float64, 3), make([]float64, 4))
+}
+
+func TestGram(t *testing.T) {
+	a, _ := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	g := Gram(a)
+	// (1/2)·AᵀA = (1/2)·[[10,14],[14,20]]
+	want, _ := mat.FromRows([][]float64{{5, 7}, {7, 10}})
+	if !g.Equal(want, 1e-12) {
+		t.Fatalf("Gram = %v, want %v", g.Data(), want.Data())
+	}
+	if got := Gram(mat.New(0, 3)); got.Rows() != 3 || got.MaxAbs() != 0 {
+		t.Fatal("empty Gram should be zero 3x3")
+	}
+}
+
+func TestGramPSD(t *testing.T) {
+	// Gram matrices are PSD: all eigenvalues >= 0 (within tolerance).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(10)
+		a := mat.New(rows, cols)
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		e, err := Decompose(Gram(a))
+		if err != nil {
+			return false
+		}
+		for _, v := range e.Values {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package topk implements the bounded min-heap used by every MIPS solver to
+// extract the K largest ratings, plus slab helpers for harvesting top-K rows
+// out of the dense score matrices that blocked matrix multiply produces.
+//
+// Ordering convention (shared repository-wide): results are ranked by higher
+// score first, with ties broken toward the lower item id. The heap applies
+// the same rule symmetrically, so all solvers agree exactly on tie handling.
+package topk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one scored item.
+type Entry struct {
+	Item  int
+	Score float64
+}
+
+// less orders entries by "worse first": lower score first, and on equal
+// scores, the higher item id first (because a lower id wins ties).
+func less(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Item > b.Item
+}
+
+// Heap is a bounded min-heap of the best K entries seen so far. The root is
+// always the *worst* retained entry, so a candidate beats the heap iff it
+// beats the root. The zero value is unusable; call New.
+type Heap struct {
+	k       int
+	entries []Entry
+}
+
+// New returns a heap retaining the best k entries. Panics if k < 1.
+func New(k int) *Heap {
+	if k < 1 {
+		panic(fmt.Sprintf("topk: k must be >= 1, got %d", k))
+	}
+	return &Heap{k: k, entries: make([]Entry, 0, k)}
+}
+
+// K returns the heap's capacity.
+func (h *Heap) K() int { return h.k }
+
+// Len returns the number of retained entries.
+func (h *Heap) Len() int { return len(h.entries) }
+
+// Full reports whether the heap holds K entries.
+func (h *Heap) Full() bool { return len(h.entries) == h.k }
+
+// Min returns the worst retained entry. It is only meaningful once the heap
+// is full; before that the true top-K threshold is -inf and callers must not
+// prune. Panics on an empty heap.
+func (h *Heap) Min() Entry {
+	if len(h.entries) == 0 {
+		panic("topk: Min of empty heap")
+	}
+	return h.entries[0]
+}
+
+// Threshold returns the score a candidate must strictly beat to enter a full
+// heap, and ok=false while the heap still has room (no pruning allowed yet).
+func (h *Heap) Threshold() (score float64, ok bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.entries[0].Score, true
+}
+
+// Push offers a candidate. It returns true if the candidate was retained.
+func (h *Heap) Push(item int, score float64) bool {
+	e := Entry{Item: item, Score: score}
+	if len(h.entries) < h.k {
+		h.entries = append(h.entries, e)
+		h.siftUp(len(h.entries) - 1)
+		return true
+	}
+	if !less(h.entries[0], e) {
+		return false
+	}
+	h.entries[0] = e
+	h.siftDown(0)
+	return true
+}
+
+// Reset empties the heap for reuse, keeping its capacity.
+func (h *Heap) Reset() { h.entries = h.entries[:0] }
+
+// Sorted returns the retained entries ranked best-first (descending score,
+// ascending item id on ties). The heap is left empty afterwards; the returned
+// slice reuses the heap's storage.
+func (h *Heap) Sorted() []Entry {
+	out := h.entries
+	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
+	h.entries = nil
+	return out
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h.entries[i], h.entries[parent]) {
+			return
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(h.entries[l], h.entries[smallest]) {
+			smallest = l
+		}
+		if r < n && less(h.entries[r], h.entries[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.entries[i], h.entries[smallest] = h.entries[smallest], h.entries[i]
+		i = smallest
+	}
+}
+
+// SelectRow returns the top-k entries of one dense score row, where the item
+// id of scores[j] is itemBase+j. This is the harvesting step that follows a
+// BMM slab: the paper notes its cost is why BMM's runtime varies with K.
+func SelectRow(scores []float64, itemBase, k int) []Entry {
+	h := New(k)
+	for j, s := range scores {
+		h.Push(itemBase+j, s)
+	}
+	return h.Sorted()
+}
+
+// MergeInto pushes previously harvested entries into h, used when a user's
+// scores arrive in multiple slabs.
+func MergeInto(h *Heap, entries []Entry) {
+	for _, e := range entries {
+		h.Push(e.Item, e.Score)
+	}
+}
+
+// SortReference computes top-k by fully sorting a copy of the scores. It is
+// O(n log n) and exists as the oracle against which the heap path is
+// property-tested, and as the "no early termination" straw man in ablations.
+func SortReference(scores []float64, itemBase, k int) []Entry {
+	all := make([]Entry, len(scores))
+	for j, s := range scores {
+		all[j] = Entry{Item: itemBase + j, Score: s}
+	}
+	sort.Slice(all, func(i, j int) bool { return less(all[j], all[i]) })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// Equal reports whether two rankings are identical (same items, same order)
+// with scores compared to within tol.
+func Equal(a, b []Entry, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Item != b[i].Item {
+			return false
+		}
+		d := a[i].Score - b[i].Score
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}

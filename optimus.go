@@ -1,0 +1,179 @@
+// Package optimus is a pure-Go implementation of the exact Maximum Inner
+// Product Search (MIPS) system from "To Index or Not to Index: Optimizing
+// Exact Maximum Inner Product Search" (Abuzaid, Sethi, Bailis, Zaharia —
+// ICDE 2019).
+//
+// Given a matrix of user vectors and a matrix of item vectors, the batch
+// top-K MIPS problem asks for the K items with the largest inner product for
+// every user — the serving step of matrix-factorization recommenders. The
+// paper's observation is that no single strategy wins everywhere:
+//
+//   - BMM, a cache-blocked brute-force matrix multiply, beats sophisticated
+//     indexes on hard-to-prune inputs;
+//   - MAXIMUS, a cluster-based index with a provable rating upper bound,
+//     wins when users cluster tightly and item norms are skewed;
+//   - LEMP and FEXIPRO, the prior state of the art, win on other inputs.
+//
+// OPTIMUS picks among them online: it builds the candidate indexes (cheap),
+// measures every strategy on a small sample of users, extrapolates, and
+// finishes the batch with the winner.
+//
+// Quickstart:
+//
+//	users, items := ... // *optimus.Matrix, rows are vectors
+//	opt := optimus.NewOptimus(optimus.OptimusConfig{},
+//	    optimus.NewMaximus(optimus.MaximusConfig{}))
+//	decision, results, err := opt.Run(users, items, 10)
+//
+// results[u] is user u's exact top-10, and decision records which strategy
+// ran and why. Individual solvers implement the Solver interface and can be
+// used directly. See the examples/ directory for runnable scenarios and
+// cmd/mipsbench for the harness that regenerates the paper's figures.
+package optimus
+
+import (
+	"io"
+
+	"optimus/internal/conetree"
+	"optimus/internal/core"
+	"optimus/internal/dataset"
+	"optimus/internal/fexipro"
+	"optimus/internal/lemp"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/serving"
+	"optimus/internal/topk"
+)
+
+// Matrix is a dense row-major float64 matrix; each row is one user or item
+// vector.
+type Matrix = mat.Matrix
+
+// Entry is one scored item in a top-K result: results are ordered by
+// descending score with ties broken toward the lower item id.
+type Entry = topk.Entry
+
+// Solver is an exact batch top-K MIPS solver (see the mips package contract:
+// Build, then Query/QueryAll; implementations are read-only after Build).
+type Solver = mips.Solver
+
+// NewMatrix allocates a rows×cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix { return mat.New(rows, cols) }
+
+// MatrixFromRows copies a slice-of-rows into a new matrix.
+func MatrixFromRows(rows [][]float64) (*Matrix, error) { return mat.FromRows(rows) }
+
+// ReadMatrix reads a matrix in the OMX1 binary format produced by
+// WriteMatrix.
+func ReadMatrix(r io.Reader) (*Matrix, error) { return mat.ReadBinary(r) }
+
+// WriteMatrix writes a matrix in the OMX1 binary format.
+func WriteMatrix(w io.Writer, m *Matrix) error { return mat.WriteBinary(w, m) }
+
+// ReadMatrixCSV parses a comma- or whitespace-separated numeric matrix, the
+// interchange format used by the LEMP/FEXIPRO reference model files.
+func ReadMatrixCSV(r io.Reader) (*Matrix, error) { return mat.ReadCSV(r) }
+
+// WriteMatrixCSV writes a matrix as CSV with full float64 precision.
+func WriteMatrixCSV(w io.Writer, m *Matrix) error { return mat.WriteCSV(w, m) }
+
+// BMMConfig configures the blocked-matrix-multiply brute-force solver.
+type BMMConfig = core.BMMConfig
+
+// NewBMM returns the hardware-efficient brute-force solver (§II-B of the
+// paper).
+func NewBMM(cfg BMMConfig) *core.BMM { return core.NewBMM(cfg) }
+
+// MaximusConfig configures the MAXIMUS index; zero values select the paper's
+// published parameters (|C|=8, i=3, adaptive B).
+type MaximusConfig = core.MaximusConfig
+
+// NewMaximus returns the paper's cluster-based pruning index (§III).
+func NewMaximus(cfg MaximusConfig) *core.Maximus { return core.NewMaximus(cfg) }
+
+// OptimusConfig configures the online optimizer; zero values select the
+// paper's settings (0.5% sample, 256 KiB L2 floor, α=0.05 t-test).
+type OptimusConfig = core.OptimusConfig
+
+// Decision describes an optimizer run: winner, per-strategy estimates,
+// sample size and overhead.
+type Decision = core.Decision
+
+// NewOptimus returns the online optimizer choosing between BMM and the given
+// index solvers (§IV).
+func NewOptimus(cfg OptimusConfig, indexes ...Solver) *core.Optimus {
+	return core.NewOptimus(cfg, indexes...)
+}
+
+// LEMPConfig configures the LEMP baseline index.
+type LEMPConfig = lemp.Config
+
+// NewLEMP returns the LEMP-LI baseline (Teflioudi et al., SIGMOD 2015).
+func NewLEMP(cfg LEMPConfig) *lemp.Index { return lemp.New(cfg) }
+
+// FexiproConfig configures the FEXIPRO baseline index.
+type FexiproConfig = fexipro.Config
+
+// Fexipro pruning variants.
+const (
+	FexiproSI  = fexipro.SI
+	FexiproSIR = fexipro.SIR
+)
+
+// NewFexipro returns the FEXIPRO baseline (Li et al., SIGMOD 2017).
+func NewFexipro(cfg FexiproConfig) *fexipro.Index { return fexipro.New(cfg) }
+
+// NewNaive returns the unindexed per-pair reference solver, useful as a
+// correctness oracle.
+func NewNaive() *mips.Naive { return mips.NewNaive() }
+
+// ConeTreeConfig configures the cone-tree baseline index.
+type ConeTreeConfig = conetree.Config
+
+// NewConeTree returns the cone-tree exact MIPS baseline (Ram & Gray,
+// KDD 2012), the tree-based related-work method the paper's §VI discusses.
+func NewConeTree(cfg ConeTreeConfig) *conetree.Index { return conetree.New(cfg) }
+
+// DatasetConfig describes a synthetic matrix-factorization model; see
+// Datasets for the paper's 23 reference configurations.
+type DatasetConfig = dataset.Config
+
+// Dataset is a generated user/item factor pair.
+type Dataset = dataset.Model
+
+// GenerateDataset materializes a synthetic model.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// Datasets returns the synthetic equivalents of the paper's 23 reference
+// models (§V-A, Table I) in Fig 5 order.
+func Datasets() []DatasetConfig { return dataset.Registry() }
+
+// DatasetByName looks up one reference model configuration.
+func DatasetByName(name string) (DatasetConfig, error) { return dataset.ByName(name) }
+
+// ServerConfig configures the micro-batching request server.
+type ServerConfig = serving.Config
+
+// Server batches concurrent single-user requests onto one solver — the
+// Clipper-style online deployment §II-A of the paper describes. Construct
+// with NewServer around a built Solver.
+type Server = serving.Server
+
+// ErrServerClosed is returned by Server.Query after Close.
+var ErrServerClosed = serving.ErrClosed
+
+// NewServer starts a micro-batching server around an already-built solver.
+func NewServer(solver Solver, cfg ServerConfig) (*Server, error) {
+	return serving.New(solver, cfg)
+}
+
+// VerifyTopK checks that a result is an exact top-k answer for the given
+// user vector against the items, within relative score tolerance tol.
+func VerifyTopK(user []float64, items *Matrix, got []Entry, k int, tol float64) error {
+	return mips.VerifyTopK(user, items, got, k, tol)
+}
+
+// VerifyAll runs VerifyTopK for every user.
+func VerifyAll(users, items *Matrix, results [][]Entry, k int, tol float64) error {
+	return mips.VerifyAll(users, items, results, k, tol)
+}
