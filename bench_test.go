@@ -151,6 +151,47 @@ func BenchmarkFig6(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelScaling — thread-scaling of the two paper-contribution
+// solvers on the shared parallel engine. Acceptance target: on a 4+-core
+// machine, threads=4 is ≥ 2.5× threads=1 for both solvers, with results
+// bit-identical across thread counts (enforced by internal/parallel's
+// determinism tests). Compare with
+//
+//	go test -bench=ParallelScaling -run=^$ -count=5 | benchstat
+//
+// Builds happen once per (solver, threads) outside the timed loop; the
+// measured region is QueryAll, the batch hot path OPTIMUS arbitrates.
+func BenchmarkParallelScaling(b *testing.B) {
+	m := benchModel(b, "netflix-nomad-50")
+	const k = 10
+	for _, solver := range []string{"BMM", "MAXIMUS"} {
+		for _, threads := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", solver, threads), func(b *testing.B) {
+				var s mips.Solver
+				switch solver {
+				case "BMM":
+					s = core.NewBMM(core.BMMConfig{Threads: threads})
+				case "MAXIMUS":
+					s = core.NewMaximus(core.MaximusConfig{Threads: threads, Seed: 1})
+				}
+				if err := s.Build(m.Users, m.Items); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.QueryAll(k); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.QueryAll(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(m.Users.Rows())*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+			})
+		}
+	}
+}
+
 // BenchmarkFig7 — cost of one OPTIMUS measurement pass (build + sample +
 // decide) at the sample ratios the estimator sweep uses.
 func BenchmarkFig7(b *testing.B) {

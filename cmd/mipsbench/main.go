@@ -25,12 +25,13 @@ import (
 	"strings"
 
 	"optimus/internal/bench"
+	"optimus/internal/parallel"
 )
 
 func main() {
 	var (
 		scale   = flag.Float64("scale", 0.25, "dataset scale multiplier applied to the registry sizes")
-		threads = flag.Int("threads", 1, "solver threads (fig6 sweeps its own)")
+		threads = flag.Int("threads", 0, "solver threads, 0 = all cores (fig6 sweeps its own)")
 		ks      = flag.String("k", "1,5,10,50", "comma-separated top-K depths")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		models  = flag.String("models", "", "comma-separated registry models overriding the experiment default")
@@ -72,6 +73,9 @@ func main() {
 	if *threads <= 0 {
 		*threads = runtime.GOMAXPROCS(0)
 	}
+	// One process-wide default: solvers constructed without an explicit
+	// Threads setting follow the flag too.
+	parallel.SetThreads(*threads)
 
 	r := bench.New(bench.Options{
 		Out:     os.Stdout,

@@ -34,7 +34,7 @@ func main() {
 		k         = flag.Int("k", 10, "top-K depth")
 		solver    = flag.String("solver", "optimus", "bmm | maximus | lemp | fexipro-si | fexipro-sir | naive | optimus")
 		user      = flag.Int("user", -1, "answer a single user id (default: all users)")
-		threads   = flag.Int("threads", 1, "solver threads")
+		threads   = flag.Int("threads", 0, "solver threads (0 = all cores)")
 		outPath   = flag.String("out", "", "write all results as CSV to this path")
 		seed      = flag.Int64("seed", 1, "seed for clustering/sampling")
 	)

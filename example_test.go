@@ -1,6 +1,7 @@
 package optimus_test
 
 import (
+	"context"
 	"fmt"
 
 	"optimus"
@@ -24,6 +25,38 @@ func ExampleNewOptimus() {
 	// Output:
 	// users answered: 96
 	// entries per user: 3
+}
+
+// Online serving: NewServer wraps a built solver and micro-batches
+// concurrent single-user requests onto it — the Clipper-style deployment of
+// §II-A. Solvers run their batches on the shared parallel engine, so one
+// server saturates every core it is allowed to use (see SetThreads).
+func ExampleNewServer() {
+	cfg, _ := optimus.DatasetByName("netflix-dsgd-10")
+	ds, _ := optimus.GenerateDataset(cfg.Scale(0.02))
+
+	idx := optimus.NewMaximus(optimus.MaximusConfig{Seed: 1})
+	if err := idx.Build(ds.Users, ds.Items); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	srv, err := optimus.NewServer(idx, optimus.ServerConfig{MaxBatch: 32})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer srv.Close()
+
+	entries, err := srv.Query(context.Background(), 7, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("entries for user 7:", len(entries))
+	fmt.Println("exact:", optimus.VerifyTopK(ds.Users.Row(7), ds.Items, entries, 3, 1e-9) == nil)
+	// Output:
+	// entries for user 7: 3
+	// exact: true
 }
 
 // Any solver can be used standalone through the shared Solver interface.

@@ -199,21 +199,34 @@ func TestDatasetRegimesDriveOptimusDecisions(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			opt := NewOptimus(OptimusConfig{
-				SampleFraction: 0.05, L2CacheBytes: 8 << 10, Seed: 5,
-			}, NewMaximus(MaximusConfig{Seed: 5}))
-			dec, res, err := opt.Run(ds.Users, ds.Items, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if dec.Winner != tc.expect {
+			// The decision is a wall-clock measurement; on a loaded or
+			// race-instrumented runner a single sample can flip a close
+			// crossover, so a wrong winner gets two re-measurements
+			// before the test fails. A real regime regression fails all
+			// three; scheduler noise does not.
+			const attempts = 3
+			for attempt := 1; ; attempt++ {
+				opt := NewOptimus(OptimusConfig{
+					SampleFraction: 0.05, L2CacheBytes: 8 << 10, Seed: 5,
+				}, NewMaximus(MaximusConfig{Seed: 5}))
+				dec, res, err := opt.Run(ds.Users, ds.Items, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := VerifyAll(ds.Users, ds.Items, res, 1, 1e-9); err != nil {
+					t.Fatal(err)
+				}
+				if dec.Winner == tc.expect {
+					break
+				}
 				bmm, _ := dec.EstimateFor("BMM")
 				mx, _ := dec.EstimateFor("MAXIMUS")
-				t.Fatalf("winner %s, want %s (BMM est %v, MAXIMUS est %v)",
-					dec.Winner, tc.expect, bmm.Total, mx.Total)
-			}
-			if err := VerifyAll(ds.Users, ds.Items, res, 1, 1e-9); err != nil {
-				t.Fatal(err)
+				if attempt == attempts {
+					t.Fatalf("winner %s, want %s in %d attempts (BMM est %v, MAXIMUS est %v)",
+						dec.Winner, tc.expect, attempts, bmm.Total, mx.Total)
+				}
+				t.Logf("attempt %d: winner %s, want %s (BMM est %v, MAXIMUS est %v); re-measuring",
+					attempt, dec.Winner, tc.expect, bmm.Total, mx.Total)
 			}
 		})
 	}

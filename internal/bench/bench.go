@@ -15,6 +15,7 @@ import (
 	"optimus/internal/fexipro"
 	"optimus/internal/lemp"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/topk"
 )
 
@@ -25,7 +26,8 @@ type Options struct {
 	// Scale multiplies the registry's user/item counts (default 0.25; the
 	// registry's scale-1 sizes are themselves reduced from Table I).
 	Scale float64
-	// Threads used by solvers (the Fig 6 experiment overrides this).
+	// Threads used by solvers; 0 defers to the package-wide
+	// parallel.Threads() default (the Fig 6 experiment sweeps its own).
 	Threads int
 	// Ks are the top-K depths for the sweep experiments (default 1,5,10,50).
 	Ks []int
@@ -55,9 +57,7 @@ func New(opt Options) *Runner {
 	if opt.Scale <= 0 {
 		opt.Scale = 0.25
 	}
-	if opt.Threads <= 0 {
-		opt.Threads = 1
-	}
+	opt.Threads = parallel.Resolve(opt.Threads)
 	if len(opt.Ks) == 0 {
 		opt.Ks = []int{1, 5, 10, 50}
 	}

@@ -12,9 +12,9 @@ package blas
 
 import (
 	"fmt"
-	"sync"
 
 	"optimus/internal/mat"
+	"optimus/internal/parallel"
 )
 
 // Tiling parameters. aRowTile × f float64s of A and bRowTile × f of B are
@@ -97,41 +97,18 @@ func GemmNT(a, b, c *mat.Matrix) {
 	gemmRange(a, b, c, 0, a.Rows())
 }
 
-// GemmNTParallel is GemmNT with the A rows partitioned across `threads`
-// goroutines. Each worker owns a disjoint slab of C, so no synchronization
-// beyond the final join is needed — the same "read-only index, partition the
-// users" strategy §V-B reports scaling near-linearly.
+// GemmNTParallel is GemmNT with the A rows sharded across the parallel
+// worker pool in aRowTile-sized chunks. Each chunk owns a disjoint slab of
+// C, so no synchronization beyond the final join is needed — the same
+// "read-only index, partition the users" strategy §V-B reports scaling
+// near-linearly — and every C element is accumulated in the same order at
+// any thread count, so results are bit-identical to serial GemmNT.
+// threads <= 0 defers to the package-wide parallel.Threads() default.
 func GemmNTParallel(a, b, c *mat.Matrix, threads int) {
 	checkGemmShapes(a, b, c)
-	m := a.Rows()
-	if threads < 1 {
-		threads = 1
-	}
-	if threads > m {
-		threads = m
-	}
-	if threads <= 1 {
-		gemmRange(a, b, c, 0, m)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRange(a, b, c, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.ForThreads(threads, a.Rows(), aRowTile, func(lo, hi int) {
+		gemmRange(a, b, c, lo, hi)
+	})
 }
 
 func checkGemmShapes(a, b, c *mat.Matrix) {

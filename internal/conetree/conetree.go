@@ -29,6 +29,7 @@ import (
 	"optimus/internal/blas"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/topk"
 )
 
@@ -78,11 +79,13 @@ func New(cfg Config) *Index {
 	if cfg.LeafSize <= 0 {
 		cfg.LeafSize = def.LeafSize
 	}
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
+	cfg.Threads = parallel.Resolve(cfg.Threads)
 	return &Index{cfg: cfg}
 }
+
+// SetThreads implements mips.ThreadSetter: it adjusts query parallelism on
+// the built index (n <= 0 selects the package-wide default).
+func (x *Index) SetThreads(n int) { x.cfg.Threads = parallel.Resolve(n) }
 
 // Name implements mips.Solver.
 func (x *Index) Name() string { return "ConeTree" }
@@ -263,7 +266,7 @@ func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 		}
 		return nil
 	}
-	if err := parallelRanges(len(userIDs), x.cfg.Threads, run); err != nil {
+	if err := parallel.ForErrThreads(x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -349,38 +352,7 @@ func (x *Index) sortedIDs() []int {
 	return out
 }
 
-func parallelRanges(n, threads int, fn func(lo, hi int) error) error {
-	if threads <= 1 || n < 2 {
-		return fn(0, n)
-	}
-	if threads > n {
-		threads = n
-	}
-	errs := make([]error, threads)
-	done := make(chan int, threads)
-	launched := 0
-	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo, hi := t*chunk, (t+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		launched++
-		go func(t, lo, hi int) {
-			errs[t] = fn(lo, hi)
-			done <- t
-		}(t, lo, hi)
-	}
-	for i := 0; i < launched; i++ {
-		<-done
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// queryGrain is the per-user chunk size handed to the shared parallel
+// worker pool (internal/parallel): branch-and-bound descent costs vary
+// per user, so chunks stay small enough to load-balance.
+const queryGrain = 64

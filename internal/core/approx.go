@@ -5,6 +5,7 @@ import (
 
 	"optimus/internal/blas"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/topk"
 )
 
@@ -34,7 +35,7 @@ func (m *Maximus) ApproxQueryAll(k int) ([][]topk.Entry, error) {
 	// Per-cluster candidate set: the centroid's top-k by true centroid
 	// score cᵀi (not the distortion bound — matching the original method).
 	candidates := make([][]int, nClusters)
-	parallelFor(nClusters, m.cfg.Threads, func(lo, hi int) {
+	parallel.ForThreads(m.cfg.Threads, nClusters, 1, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			if len(m.members[c]) == 0 {
 				continue
@@ -54,7 +55,7 @@ func (m *Maximus) ApproxQueryAll(k int) ([][]topk.Entry, error) {
 	})
 
 	out := make([][]topk.Entry, m.users.Rows())
-	parallelFor(m.users.Rows(), m.cfg.Threads, func(lo, hi int) {
+	parallel.ForThreads(m.cfg.Threads, m.users.Rows(), queryGrain, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			cand := candidates[m.clusterOf[u]]
 			h := topk.New(k)

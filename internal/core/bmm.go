@@ -10,12 +10,15 @@ import (
 	"optimus/internal/blas"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/topk"
 )
 
 // BMMConfig controls the blocked-matrix-multiply solver.
 type BMMConfig struct {
-	// Threads parallelizes both the GEMM and the top-K harvest.
+	// Threads parallelizes both the GEMM and the top-K harvest; 0 (the
+	// zero value) defers to the package-wide parallel.Threads() default,
+	// normally all cores.
 	Threads int
 	// SlabBytes bounds the size of one scores slab (users-batch × |I| × 8
 	// bytes). The paper computes "ratings for users in a series of batches
@@ -24,8 +27,13 @@ type BMMConfig struct {
 	SlabBytes int
 }
 
-// DefaultBMMConfig returns the defaults described above.
-func DefaultBMMConfig() BMMConfig { return BMMConfig{Threads: 1, SlabBytes: 64 << 20} }
+// DefaultBMMConfig returns the defaults described above. Threads stays 0 —
+// "follow the package-wide parallel.Threads() default" — which NewBMM
+// resolves at construction, so a later SetThreads still takes effect on
+// configs created before it.
+func DefaultBMMConfig() BMMConfig {
+	return BMMConfig{SlabBytes: 64 << 20}
+}
 
 // BMM is the blocked matrix multiply brute-force solver: one GemmNT per user
 // slab followed by per-row heap selection. No pruning, maximal hardware
@@ -47,15 +55,17 @@ type BMMStats struct {
 // NewBMM returns an unbuilt BMM solver. Zero-valued config fields fall back
 // to defaults.
 func NewBMM(cfg BMMConfig) *BMM {
-	def := DefaultBMMConfig()
-	if cfg.Threads <= 0 {
-		cfg.Threads = def.Threads
-	}
+	cfg.Threads = parallel.Resolve(cfg.Threads)
 	if cfg.SlabBytes <= 0 {
-		cfg.SlabBytes = def.SlabBytes
+		cfg.SlabBytes = DefaultBMMConfig().SlabBytes
 	}
 	return &BMM{cfg: cfg}
 }
+
+// SetThreads implements mips.ThreadSetter: it adjusts query parallelism on
+// the built solver (n <= 0 selects the package-wide default). OPTIMUS uses
+// it to measure every candidate at the parallelism the final pass will use.
+func (b *BMM) SetThreads(n int) { b.cfg.Threads = parallel.Resolve(n) }
 
 // Name implements mips.Solver.
 func (b *BMM) Name() string { return "BMM" }
@@ -145,7 +155,7 @@ func (b *BMM) process(queries *mat.Matrix, out [][]topk.Entry, k int, st *BMMSta
 
 // harvest extracts top-k from every row of a scores slab, in parallel.
 func harvest(scores *mat.Matrix, out [][]topk.Entry, k, threads int) {
-	parallelFor(scores.Rows(), threads, func(lo, hi int) {
+	parallel.ForThreads(threads, scores.Rows(), queryGrain, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			out[r] = topk.SelectRow(scores.Row(r), 0, k)
 		}

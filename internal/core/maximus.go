@@ -11,6 +11,7 @@ import (
 	"optimus/internal/kmeans"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/stats"
 	"optimus/internal/topk"
 )
@@ -42,14 +43,18 @@ type MaximusConfig struct {
 	ClusterSampleFraction float64
 	// Seed drives k-means seeding and user sampling.
 	Seed int64
-	// Threads parallelizes clustering, construction GEMMs, and queries.
+	// Threads parallelizes clustering, construction GEMMs, and queries; 0
+	// (the zero value) defers to the package-wide parallel.Threads()
+	// default, normally all cores.
 	Threads int
 }
 
 // DefaultMaximusConfig returns the paper's published settings (§III-D);
-// BlockSize 0 means the adaptive min(4096, |I|/8) rule.
+// BlockSize 0 means the adaptive min(4096, |I|/8) rule, and Threads 0 means
+// "follow the package-wide parallel.Threads() default", resolved by
+// NewMaximus at construction.
 func DefaultMaximusConfig() MaximusConfig {
-	return MaximusConfig{Clusters: 8, KMeansIters: 3, BlockSize: 0, Threads: 1}
+	return MaximusConfig{Clusters: 8, KMeansIters: 3, BlockSize: 0}
 }
 
 // maxBlockSize is the paper's published B.
@@ -117,9 +122,7 @@ func NewMaximus(cfg MaximusConfig) *Maximus {
 	if cfg.BlockSize < 0 {
 		cfg.BlockSize = 0
 	}
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
+	cfg.Threads = parallel.Resolve(cfg.Threads)
 	if cfg.ClusterSampleFraction < 0 || cfg.ClusterSampleFraction >= 1 {
 		cfg.ClusterSampleFraction = 0
 	}
@@ -128,6 +131,11 @@ func NewMaximus(cfg MaximusConfig) *Maximus {
 
 // Name implements mips.Solver.
 func (m *Maximus) Name() string { return "MAXIMUS" }
+
+// SetThreads implements mips.ThreadSetter: it adjusts query parallelism on
+// the built index (n <= 0 selects the package-wide default). Walk order and
+// block sizes are fixed at Build, so changing threads never changes results.
+func (m *Maximus) SetThreads(n int) { m.cfg.Threads = parallel.Resolve(n) }
 
 // Batches implements mips.Solver: the shared block multiply amortizes work
 // across a cluster's users, so OPTIMUS must measure MAXIMUS on whole samples
@@ -242,7 +250,7 @@ func (m *Maximus) constructLists() {
 	m.bounds = make([][]float64, nClusters)
 	m.blocks = make([]*mat.Matrix, nClusters)
 	m.memberVecs = make([]*mat.Matrix, nClusters)
-	parallelFor(nClusters, m.cfg.Threads, func(lo, hi int) {
+	parallel.ForThreads(m.cfg.Threads, nClusters, 1, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			bound := make([]float64, nItems)
 			for i := 0; i < nItems; i++ {
@@ -298,7 +306,7 @@ func (m *Maximus) estimateBlocks() {
 	}
 	nClusters := m.centroids.Rows()
 	nItems := m.items.Rows()
-	parallelFor(nClusters, m.cfg.Threads, func(lo, hi int) {
+	parallel.ForThreads(m.cfg.Threads, nClusters, 1, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			if len(m.members[c]) == 0 {
 				continue
@@ -469,7 +477,7 @@ func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, out 
 	}
 
 	perUser := make([]int64, len(queryPos))
-	parallelFor(len(queryPos), m.cfg.Threads, func(lo, hi int) {
+	parallel.ForThreads(m.cfg.Threads, len(queryPos), queryGrain, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			qi := queryPos[r]
 			u := userIDs[qi]

@@ -8,6 +8,7 @@ import (
 
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/stats"
 	"optimus/internal/topk"
 )
@@ -32,18 +33,24 @@ type OptimusConfig struct {
 	MinTTestObservations int
 	// Seed drives sample selection.
 	Seed int64
-	// Threads is passed through to batch measurement and final execution.
+	// Threads is the parallelism of the whole run; 0 (the zero value)
+	// defers to the package-wide parallel.Threads() default, normally all
+	// cores. Every candidate solver that implements mips.ThreadSetter is
+	// aligned to this value before measurement, so strategies are measured
+	// at the same parallelism they would run at — extrapolating a serial
+	// sample to a parallel final pass would bias the crossover decision.
 	Threads int
 }
 
-// DefaultOptimusConfig returns the paper's settings.
+// DefaultOptimusConfig returns the paper's settings. Threads stays 0 —
+// "follow the package-wide parallel.Threads() default" — which NewOptimus
+// resolves at construction.
 func DefaultOptimusConfig() OptimusConfig {
 	return OptimusConfig{
 		SampleFraction:       0.005,
 		L2CacheBytes:         256 << 10,
 		Alpha:                0.05,
 		MinTTestObservations: 8,
-		Threads:              1,
 	}
 }
 
@@ -119,9 +126,7 @@ func NewOptimus(cfg OptimusConfig, indexes ...mips.Solver) *Optimus {
 	if cfg.MinTTestObservations <= 1 {
 		cfg.MinTTestObservations = def.MinTTestObservations
 	}
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
+	cfg.Threads = parallel.Resolve(cfg.Threads)
 	return &Optimus{
 		cfg:     cfg,
 		bmm:     NewBMM(BMMConfig{Threads: cfg.Threads}),
@@ -228,6 +233,15 @@ func (o *Optimus) measure(users, items *mat.Matrix, k int) (*Decision, []int, ma
 	sampleSize := o.SampleSize(n, users.Cols())
 	rng := rand.New(rand.NewSource(o.cfg.Seed))
 	sampleIDs := stats.SampleWithoutReplacement(rng, n, sampleSize)
+
+	// Align every candidate to the run's parallelism before any clock
+	// starts: the sampled measurements are extrapolated to the full batch,
+	// so they must be taken at the thread count the final pass will use.
+	for _, s := range append([]mips.Solver{o.bmm}, o.indexes...) {
+		if ts, ok := s.(mips.ThreadSetter); ok {
+			ts.SetThreads(o.cfg.Threads)
+		}
+	}
 
 	if err := o.bmm.Build(users, items); err != nil {
 		return nil, nil, nil, err

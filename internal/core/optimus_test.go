@@ -116,23 +116,42 @@ func TestOptimusResultsAlwaysExact(t *testing.T) {
 	}
 }
 
+// measureWinner asserts that the optimizer picks `want` on the given input,
+// re-measuring a wrong answer up to two more times: the decision is a
+// wall-clock measurement, so on a loaded or race-instrumented runner a
+// single sample can flip a close crossover. A real regime regression fails
+// every attempt; scheduler noise does not.
+func measureWinner(t *testing.T, mk func() *Optimus, users, items *mat.Matrix, k int, want string) {
+	t.Helper()
+	const attempts = 3
+	for attempt := 1; ; attempt++ {
+		dec, err := mk().Measure(users, items, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Winner == want {
+			return
+		}
+		bmmE, _ := dec.EstimateFor("BMM")
+		maxE, _ := dec.EstimateFor("MAXIMUS")
+		if attempt == attempts {
+			t.Fatalf("winner = %s, want %s in %d attempts (BMM est %v, MAXIMUS est %v)",
+				dec.Winner, want, attempts, bmmE.Total, maxE.Total)
+		}
+		t.Logf("attempt %d: winner %s, want %s (BMM est %v, MAXIMUS est %v); re-measuring",
+			attempt, dec.Winner, want, bmmE.Total, maxE.Total)
+	}
+}
+
 func TestOptimusPicksIndexOnPrunableInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	users, items := indexFriendlyModel(rng, 2000, 4000, 16)
-	o := NewOptimus(
-		OptimusConfig{SampleFraction: 0.02, L2CacheBytes: 4 << 10, Seed: 5},
-		NewMaximus(MaximusConfig{Seed: 5}),
-	)
-	dec, err := o.Measure(users, items, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if dec.Winner != "MAXIMUS" {
-		bmmE, _ := dec.EstimateFor("BMM")
-		maxE, _ := dec.EstimateFor("MAXIMUS")
-		t.Fatalf("winner = %s (BMM est %v, MAXIMUS est %v); expected MAXIMUS on tightly clustered, heavily skewed input",
-			dec.Winner, bmmE.Total, maxE.Total)
-	}
+	measureWinner(t, func() *Optimus {
+		return NewOptimus(
+			OptimusConfig{SampleFraction: 0.02, L2CacheBytes: 4 << 10, Seed: 5},
+			NewMaximus(MaximusConfig{Seed: 5}),
+		)
+	}, users, items, 1, "MAXIMUS")
 }
 
 func TestOptimusPicksBMMOnUnprunableInput(t *testing.T) {
@@ -140,20 +159,12 @@ func TestOptimusPicksBMMOnUnprunableInput(t *testing.T) {
 	// Isotropic data with many factors: index walks visit nearly all items,
 	// per-item dot costs equal BMM's, but without batching efficiency.
 	users, items := bmmFriendlyModel(rng, 2000, 1500, 32)
-	o := NewOptimus(
-		OptimusConfig{SampleFraction: 0.02, L2CacheBytes: 4 << 10, Seed: 6},
-		NewMaximus(MaximusConfig{Seed: 6}),
-	)
-	dec, err := o.Measure(users, items, 10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if dec.Winner != "BMM" {
-		bmmE, _ := dec.EstimateFor("BMM")
-		maxE, _ := dec.EstimateFor("MAXIMUS")
-		t.Fatalf("winner = %s (BMM est %v, MAXIMUS est %v); expected BMM on isotropic input",
-			dec.Winner, bmmE.Total, maxE.Total)
-	}
+	measureWinner(t, func() *Optimus {
+		return NewOptimus(
+			OptimusConfig{SampleFraction: 0.02, L2CacheBytes: 4 << 10, Seed: 6},
+			NewMaximus(MaximusConfig{Seed: 6}),
+		)
+	}, users, items, 10, "BMM")
 }
 
 func TestOptimusTTestEarlyStopsOnLopsidedInput(t *testing.T) {

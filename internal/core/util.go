@@ -2,36 +2,12 @@ package core
 
 import (
 	"math"
-	"sync"
 )
 
-// parallelFor splits [0, n) across up to `threads` goroutines.
-func parallelFor(n, threads int, fn func(lo, hi int)) {
-	if threads <= 1 || n < 2 {
-		fn(0, n)
-		return
-	}
-	if threads > n {
-		threads = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo, hi := t*chunk, (t+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
+// queryGrain is the chunk size solver hot paths hand to the parallel worker
+// pool for per-user and per-row loops: small enough to load-balance skewed
+// walk lengths, large enough to amortize dispatch.
+const queryGrain = 16
 
 // slack is the floating-point guard band for pruning decisions: a candidate
 // whose upper bound is within this distance of the threshold is verified

@@ -28,12 +28,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"optimus/internal/blas"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/svd"
 	"optimus/internal/topk"
 )
@@ -121,11 +121,13 @@ func New(cfg Config) *Index {
 	if cfg.QuantLevels <= 0 {
 		cfg.QuantLevels = def.QuantLevels
 	}
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
+	cfg.Threads = parallel.Resolve(cfg.Threads)
 	return &Index{cfg: cfg}
 }
+
+// SetThreads implements mips.ThreadSetter: it adjusts query parallelism on
+// the built index (n <= 0 selects the package-wide default).
+func (x *Index) SetThreads(n int) { x.cfg.Threads = parallel.Resolve(n) }
 
 // Name implements mips.Solver.
 func (x *Index) Name() string { return x.cfg.Variant.String() }
@@ -318,7 +320,7 @@ func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 		}
 		return nil
 	}
-	if err := parallelRanges(len(userIDs), x.cfg.Threads, run); err != nil {
+	if err := parallel.ForErrThreads(x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -422,35 +424,7 @@ func slack(thr float64) float64 {
 	return 1e-9 * (1 + math.Abs(thr))
 }
 
-func parallelRanges(n, threads int, fn func(lo, hi int) error) error {
-	if threads <= 1 || n < 2 {
-		return fn(0, n)
-	}
-	if threads > n {
-		threads = n
-	}
-	errs := make([]error, threads)
-	var wg sync.WaitGroup
-	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo, hi := t*chunk, (t+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(t, lo, hi int) {
-			defer wg.Done()
-			errs[t] = fn(lo, hi)
-		}(t, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// queryGrain is the per-user chunk size handed to the shared parallel
+// worker pool (internal/parallel): small enough to load-balance the very
+// skewed per-user bound-cascade costs, large enough to amortize dispatch.
+const queryGrain = 64

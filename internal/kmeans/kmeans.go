@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"optimus/internal/mat"
+	"optimus/internal/parallel"
 )
 
 // Config controls a clustering run.
@@ -171,35 +171,21 @@ func seedPlusPlus(points *mat.Matrix, k int, rng *rand.Rand) *mat.Matrix {
 	return centroids
 }
 
+// assignGrain is the chunk size of the parallel assignment step. The chunk
+// decomposition — and therefore the order the per-chunk partial objectives
+// are reduced in — depends only on the point count, so the returned inertia
+// is bit-identical at every thread count.
+const assignGrain = 256
+
 // assignAll assigns every point to its nearest centroid and returns the
 // objective value. For spherical mode, "nearest" means highest cosine
 // similarity and the objective is summed (1 - cos).
 func assignAll(points, centroids *mat.Matrix, assign []int, threads int, spherical bool) float64 {
 	n := points.Rows()
-	if threads < 2 || n < 256 {
-		return assignRange(points, centroids, assign, 0, n, spherical)
-	}
-	if threads > n {
-		threads = n
-	}
-	var wg sync.WaitGroup
-	part := make([]float64, threads)
-	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo, hi := t*chunk, (t+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(t, lo, hi int) {
-			defer wg.Done()
-			part[t] = assignRange(points, centroids, assign, lo, hi, spherical)
-		}(t, lo, hi)
-	}
-	wg.Wait()
+	part := make([]float64, parallel.Chunks(n, assignGrain))
+	parallel.ForThreads(threads, n, assignGrain, func(lo, hi int) {
+		part[parallel.Chunk(lo, assignGrain)] = assignRange(points, centroids, assign, lo, hi, spherical)
+	})
 	var total float64
 	for _, p := range part {
 		total += p

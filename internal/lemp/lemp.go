@@ -26,6 +26,7 @@ import (
 	"optimus/internal/blas"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/stats"
 	"optimus/internal/topk"
 )
@@ -121,11 +122,13 @@ func New(cfg Config) *Index {
 	if cfg.TuneSample < 0 {
 		cfg.TuneSample = 0
 	}
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
+	cfg.Threads = parallel.Resolve(cfg.Threads)
 	return &Index{cfg: cfg}
 }
+
+// SetThreads implements mips.ThreadSetter: it adjusts query parallelism on
+// the built index (n <= 0 selects the package-wide default).
+func (x *Index) SetThreads(n int) { x.cfg.Threads = parallel.Resolve(n) }
 
 // Name implements mips.Solver.
 func (x *Index) Name() string { return "LEMP" }
@@ -219,7 +222,7 @@ func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 		}
 		return nil
 	}
-	if err := parallelRanges(len(userIDs), x.cfg.Threads, run); err != nil {
+	if err := parallel.ForErrThreads(x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -382,40 +385,10 @@ func slack(thr float64) float64 {
 	return 1e-12 * (1 + math.Abs(thr))
 }
 
-// parallelRanges splits [0, n) across up to `threads` goroutines and runs fn
-// on each subrange, returning the first error.
-func parallelRanges(n, threads int, fn func(lo, hi int) error) error {
-	if threads <= 1 || n < 2 {
-		return fn(0, n)
-	}
-	if threads > n {
-		threads = n
-	}
-	errs := make([]error, threads)
-	var wg sync.WaitGroup
-	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo, hi := t*chunk, (t+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(t, lo, hi int) {
-			defer wg.Done()
-			errs[t] = fn(lo, hi)
-		}(t, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// queryGrain is the per-user chunk size handed to the shared parallel worker
+// pool: one query scratch is allocated per chunk, so it is sized to amortize
+// that allocation while still load-balancing skewed bucket walks.
+const queryGrain = 64
 
 // Buckets returns the number of buckets in the built index.
 func (x *Index) Buckets() int { return len(x.buckets) }

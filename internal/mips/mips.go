@@ -39,6 +39,16 @@ type Solver interface {
 	Batches() bool
 }
 
+// ThreadSetter is the optional interface for solvers whose query parallelism
+// can be adjusted after construction (n <= 0 selects the package-wide
+// default from internal/parallel). The OPTIMUS optimizer uses it to align
+// every candidate to the parallelism the final pass will run at, so the
+// sampled measurements extrapolate to the machine that executes the winner
+// rather than to a single core.
+type ThreadSetter interface {
+	SetThreads(n int)
+}
+
 // ValidateInputs performs the shape checks shared by all Build
 // implementations.
 func ValidateInputs(users, items *mat.Matrix) error {

@@ -1,0 +1,223 @@
+// Package parallel is the repository's shared execution engine: every solver
+// hot path — BMM's blocked GEMM and top-K harvest, MAXIMUS's per-cluster
+// construction and walks, k-means assignment, and the LEMP / FEXIPRO /
+// cone-tree per-user query loops — shards its work through the bounded
+// worker pool defined here instead of spawning ad-hoc goroutines.
+//
+// The primitive is For(n, grain, fn): the index range [0, n) is cut into
+// consecutive chunks of `grain` indexes (the last chunk may be shorter) and
+// fn(lo, hi) is invoked exactly once per chunk by a pool of worker
+// goroutines. Two properties make it safe to use in numeric code:
+//
+//   - Deterministic decomposition. The chunk boundaries are a function of
+//     (n, grain) only — never of the worker count — and the serial path
+//     (one thread, or n too small to split) visits the identical chunks in
+//     order. A caller that accumulates per-chunk partial results indexed by
+//     Chunk(lo, grain) and reduces them in chunk order therefore produces
+//     bit-identical floating-point output at every thread count, which is
+//     how the solvers keep parallel and serial top-K results identical.
+//
+//   - Bounded workers. At most `threads` goroutines run at once (excess
+//     chunks queue on an atomic cursor), so nested use — a per-cluster loop
+//     whose body runs a parallel GEMM — multiplies bounded factors instead
+//     of spawning one goroutine per index.
+//
+// Worker count resolution is uniform across the repository: every solver
+// config carries a Threads knob whose zero value defers to the package-wide
+// default (SetThreads / Threads, initially runtime.GOMAXPROCS(0)), so a
+// process sets its parallelism once and individual solvers override only
+// when they need to.
+//
+// A panic inside fn is captured, the pool drains, and the panic is re-raised
+// on the caller's goroutine so it behaves like a panic in an ordinary loop
+// body. ForErr is the error-returning variant; it runs every chunk and
+// returns the error of the lowest-indexed failing chunk, again independent
+// of scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultThreads holds the package-wide worker-count override; 0 means
+// "follow runtime.GOMAXPROCS(0)".
+var defaultThreads atomic.Int64
+
+// Threads returns the package-wide default worker count: the value of the
+// last SetThreads call, or runtime.GOMAXPROCS(0) if never set.
+func Threads() int {
+	if n := defaultThreads.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetThreads sets the package-wide default worker count and returns the
+// previous value. n <= 0 resets to runtime.GOMAXPROCS(0). Safe for
+// concurrent use; in-flight For calls keep the count they resolved at entry.
+func SetThreads(n int) int {
+	prev := Threads()
+	if n <= 0 {
+		n = 0
+	}
+	defaultThreads.Store(int64(n))
+	return prev
+}
+
+// Resolve maps a per-call or per-config thread count to an effective worker
+// count: positive values pass through, anything else defers to Threads().
+func Resolve(threads int) int {
+	if threads > 0 {
+		return threads
+	}
+	return Threads()
+}
+
+// Chunks returns the number of grain-sized chunks covering [0, n):
+// ceil(n/grain), with grain <= 0 treated as 1.
+func Chunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// Chunk returns the chunk index of the range starting at lo, for callers
+// that keep per-chunk partial results: part[parallel.Chunk(lo, grain)] = ...
+func Chunk(lo, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	return lo / grain
+}
+
+// For shards [0, n) into grain-sized chunks and runs fn(lo, hi) once per
+// chunk on up to Threads() workers. See the package comment for the
+// determinism and bounding guarantees.
+func For(n, grain int, fn func(lo, hi int)) {
+	ForThreads(0, n, grain, fn)
+}
+
+// ForThreads is For with an explicit worker count; threads <= 0 defers to
+// the package default (Resolve).
+func ForThreads(threads, n, grain int, fn func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	nchunks := Chunks(n, grain)
+	if nchunks == 0 {
+		return
+	}
+	workers := Resolve(threads)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		for c := 0; c < nchunks; c++ {
+			lo, hi := bounds(c, grain, n)
+			fn(lo, hi)
+		}
+		return
+	}
+	run(workers, nchunks, func(c int) {
+		lo, hi := bounds(c, grain, n)
+		fn(lo, hi)
+	})
+}
+
+// ForErr is For with an error-returning body. Every chunk runs regardless of
+// failures elsewhere; the returned error is that of the lowest-indexed
+// failing chunk, so the result does not depend on goroutine scheduling.
+func ForErr(n, grain int, fn func(lo, hi int) error) error {
+	return ForErrThreads(0, n, grain, fn)
+}
+
+// ForErrThreads is ForErr with an explicit worker count; threads <= 0 defers
+// to the package default.
+func ForErrThreads(threads, n, grain int, fn func(lo, hi int) error) error {
+	if grain < 1 {
+		grain = 1
+	}
+	nchunks := Chunks(n, grain)
+	if nchunks == 0 {
+		return nil
+	}
+	workers := Resolve(threads)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		var first error
+		for c := 0; c < nchunks; c++ {
+			lo, hi := bounds(c, grain, n)
+			if err := fn(lo, hi); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, nchunks)
+	run(workers, nchunks, func(c int) {
+		lo, hi := bounds(c, grain, n)
+		errs[c] = fn(lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bounds returns chunk c's index range for the given grain, clipped to n.
+func bounds(c, grain, n int) (lo, hi int) {
+	lo = c * grain
+	hi = lo + grain
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// run executes body(c) for every chunk index in [0, nchunks) on `workers`
+// goroutines pulling from an atomic cursor, propagating the first captured
+// panic to the caller after all workers have drained.
+func run(workers, nchunks int, body func(c int)) {
+	var (
+		cursor  atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				body(c)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}

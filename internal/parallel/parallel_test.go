@@ -1,0 +1,254 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// coverCase runs ForThreads and asserts every index in [0, n) is visited
+// exactly once with well-formed, grain-sized chunks.
+func coverCase(t *testing.T, threads, n, grain int) {
+	t.Helper()
+	visits := make([]int32, n)
+	ForThreads(threads, n, grain, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("threads=%d n=%d grain=%d: bad range [%d,%d)", threads, n, grain, lo, hi)
+			return
+		}
+		g := grain
+		if g < 1 {
+			g = 1
+		}
+		if hi-lo > g {
+			t.Errorf("threads=%d n=%d grain=%d: range [%d,%d) exceeds grain", threads, n, grain, lo, hi)
+		}
+		if lo%g != 0 {
+			t.Errorf("threads=%d n=%d grain=%d: range start %d not grain-aligned", threads, n, grain, lo)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visits[i], 1)
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("threads=%d n=%d grain=%d: index %d visited %d times", threads, n, grain, i, v)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{1, 2, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 16, 1000, 5000} {
+				coverCase(t, threads, n, grain)
+			}
+		}
+	}
+}
+
+func TestForEdgeCases(t *testing.T) {
+	// n = 0 and negative n: fn must never run.
+	for _, n := range []int{0, -5} {
+		called := false
+		ForThreads(4, n, 8, func(lo, hi int) { called = true })
+		if called {
+			t.Fatalf("fn called for n=%d", n)
+		}
+	}
+	// n < grain: exactly one invocation covering [0, n).
+	var calls int32
+	ForThreads(4, 5, 100, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if lo != 0 || hi != 5 {
+			t.Errorf("n<grain: got range [%d,%d), want [0,5)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("n<grain: fn called %d times, want 1", calls)
+	}
+	// grain <= 0 behaves as grain 1.
+	coverCase(t, 3, 10, 0)
+	coverCase(t, 3, 10, -7)
+}
+
+// TestChunkBoundariesIndependentOfThreads is the determinism contract: the
+// set of (lo, hi) ranges depends only on (n, grain), never on the worker
+// count, so per-chunk reductions are bit-identical at every thread count.
+func TestChunkBoundariesIndependentOfThreads(t *testing.T) {
+	const n, grain = 103, 8
+	ranges := func(threads int) map[string]bool {
+		out := make(map[string]bool)
+		ch := make(chan [2]int, n)
+		ForThreads(threads, n, grain, func(lo, hi int) { ch <- [2]int{lo, hi} })
+		close(ch)
+		for r := range ch {
+			out[fmt.Sprintf("%d-%d", r[0], r[1])] = true
+		}
+		return out
+	}
+	serial := ranges(1)
+	for _, threads := range []int{2, 4, 9} {
+		got := ranges(threads)
+		if len(got) != len(serial) {
+			t.Fatalf("threads=%d: %d chunks, serial has %d", threads, len(got), len(serial))
+		}
+		for r := range serial {
+			if !got[r] {
+				t.Fatalf("threads=%d: missing chunk %s", threads, r)
+			}
+		}
+	}
+}
+
+func TestChunksAndChunk(t *testing.T) {
+	cases := []struct{ n, grain, want int }{
+		{0, 8, 0}, {-1, 8, 0}, {1, 8, 1}, {8, 8, 1}, {9, 8, 2}, {16, 8, 2}, {17, 8, 3}, {5, 0, 5},
+	}
+	for _, c := range cases {
+		if got := Chunks(c.n, c.grain); got != c.want {
+			t.Errorf("Chunks(%d,%d) = %d, want %d", c.n, c.grain, got, c.want)
+		}
+	}
+	if got := Chunk(24, 8); got != 3 {
+		t.Errorf("Chunk(24,8) = %d, want 3", got)
+	}
+	if got := Chunk(3, 0); got != 3 {
+		t.Errorf("Chunk(3,0) = %d, want 3", got)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("threads=%d: panic not propagated", threads)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("threads=%d: recovered %v, want \"boom\"", threads, r)
+				}
+			}()
+			ForThreads(threads, 100, 4, func(lo, hi int) {
+				if lo == 48 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForErrReturnsLowestChunkError(t *testing.T) {
+	errA := errors.New("chunk 2 failed")
+	errB := errors.New("chunk 7 failed")
+	for _, threads := range []int{1, 4} {
+		err := ForErrThreads(threads, 80, 8, func(lo, hi int) error {
+			switch lo / 8 {
+			case 7:
+				return errB
+			case 2:
+				return errA
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("threads=%d: got %v, want %v", threads, err, errA)
+		}
+	}
+	if err := ForErr(0, 8, func(lo, hi int) error { return errA }); err != nil {
+		t.Fatalf("n=0: got %v, want nil", err)
+	}
+	if err := ForErrThreads(4, 100, 8, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatalf("no-error run: got %v", err)
+	}
+}
+
+func TestForErrRunsEveryChunkDespiteFailures(t *testing.T) {
+	var ran atomic.Int32
+	failAll := errors.New("fail")
+	_ = ForErrThreads(4, 64, 4, func(lo, hi int) error {
+		ran.Add(1)
+		return failAll
+	})
+	if ran.Load() != 16 {
+		t.Fatalf("ran %d chunks, want 16", ran.Load())
+	}
+}
+
+func TestSetThreadsAndResolve(t *testing.T) {
+	orig := Threads()
+	t.Cleanup(func() { SetThreads(orig) })
+
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	prev := SetThreads(5)
+	if prev != orig {
+		t.Fatalf("SetThreads returned %d, want previous default %d", prev, orig)
+	}
+	if got := Threads(); got != 5 {
+		t.Fatalf("Threads() = %d after SetThreads(5)", got)
+	}
+	if got := Resolve(0); got != 5 {
+		t.Fatalf("Resolve(0) = %d, want 5", got)
+	}
+	if got := Resolve(-1); got != 5 {
+		t.Fatalf("Resolve(-1) = %d, want 5", got)
+	}
+	SetThreads(0)
+	if got := Threads(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Threads() = %d after reset, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestSharedAccumulatorUnderRace exercises the pool with workers writing to
+// disjoint slices and a shared atomic, so `go test -race` validates the
+// pool's synchronization.
+func TestSharedAccumulatorUnderRace(t *testing.T) {
+	const n = 10000
+	out := make([]int, n)
+	var total atomic.Int64
+	ForThreads(8, n, 7, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * 2
+			total.Add(1)
+		}
+	})
+	if total.Load() != n {
+		t.Fatalf("total = %d, want %d", total.Load(), n)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestNestedFor(t *testing.T) {
+	// A per-cluster loop whose body runs its own parallel loop — the
+	// MAXIMUS shape. Both levels bounded; all cells visited once.
+	const outer, inner = 6, 40
+	visits := make([][]int32, outer)
+	for i := range visits {
+		visits[i] = make([]int32, inner)
+	}
+	ForThreads(3, outer, 1, func(olo, ohi int) {
+		for o := olo; o < ohi; o++ {
+			ForThreads(4, inner, 8, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[o][i], 1)
+				}
+			})
+		}
+	})
+	for o := range visits {
+		for i, v := range visits[o] {
+			if v != 1 {
+				t.Fatalf("cell (%d,%d) visited %d times", o, i, v)
+			}
+		}
+	}
+}

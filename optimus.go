@@ -18,6 +18,16 @@
 // measures every strategy on a small sample of users, extrapolates, and
 // finishes the batch with the winner.
 //
+// Every solver hot path runs on a shared bounded worker pool (the
+// internal/parallel execution engine): BMM shards its blocked GEMM and top-K
+// harvest, MAXIMUS its clustering, construction, and per-cluster walks, and
+// LEMP, FEXIPRO, and the cone tree their per-user query loops. Parallelism
+// is controlled by the Threads field every solver config carries; the zero
+// value defers to the process-wide default (all cores), adjustable with
+// SetThreads. Parallel results are bit-identical to serial ones — work is
+// decomposed into fixed chunks independent of the worker count — so Threads
+// is purely a performance knob.
+//
 // Quickstart:
 //
 //	users, items := ... // *optimus.Matrix, rows are vectors
@@ -41,9 +51,19 @@ import (
 	"optimus/internal/lemp"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/parallel"
 	"optimus/internal/serving"
 	"optimus/internal/topk"
 )
+
+// SetThreads sets the process-wide default parallelism used by every solver
+// whose config leaves Threads at zero, and returns the previous default.
+// n <= 0 resets to runtime.GOMAXPROCS(0). Benchmark harnesses and servers
+// call this once at startup to sweep or pin parallelism globally.
+func SetThreads(n int) int { return parallel.SetThreads(n) }
+
+// Threads returns the current process-wide default parallelism.
+func Threads() int { return parallel.Threads() }
 
 // Matrix is a dense row-major float64 matrix; each row is one user or item
 // vector.
