@@ -15,6 +15,7 @@ import (
 	"optimus/internal/fexipro"
 	"optimus/internal/lemp"
 	"optimus/internal/mips"
+	"optimus/internal/shard"
 )
 
 const benchScale = 0.12
@@ -174,6 +175,44 @@ func BenchmarkParallelScaling(b *testing.B) {
 				case "MAXIMUS":
 					s = core.NewMaximus(core.MaximusConfig{Threads: threads, Seed: 1})
 				}
+				if err := s.Build(m.Users, m.Items); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.QueryAll(k); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.QueryAll(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(m.Users.Rows())*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+			})
+		}
+	}
+}
+
+// BenchmarkShardedScaling — shard-count scaling of the item-sharded
+// execution layer over the two batching solvers, at the process-default
+// thread count. S=1 vs the plain solver isolates the composite's overhead
+// (remap + k-way merge); higher S measures the fan-out. Compare with
+//
+//	go test -bench=ShardedScaling -run=^$ -count=5 | benchstat
+//
+// (single runs on a loaded box swing ±30%; always difference with
+// benchstat, as the CI bench job does).
+func BenchmarkShardedScaling(b *testing.B) {
+	m := benchModel(b, "netflix-nomad-50")
+	const k = 10
+	for _, solver := range []string{"BMM", "MAXIMUS"} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", solver, shards), func(b *testing.B) {
+				solver := solver
+				s := shard.New(shard.Config{
+					Shards:  shards,
+					Factory: func() mips.Solver { return benchSolver(solver) },
+				})
 				if err := s.Build(m.Users, m.Items); err != nil {
 					b.Fatal(err)
 				}

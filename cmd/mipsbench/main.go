@@ -8,13 +8,15 @@
 //	mipsbench [flags] <experiment>
 //
 // where <experiment> is one of: table1 fig2 fig4 fig5 fig6 fig7 fig8 table2
-// ablation-clustering ablation-params ablation-ttest ablation-costmodel all
+// sharding ablation-clustering ablation-params ablation-ttest
+// ablation-costmodel all
 //
 // Examples:
 //
 //	mipsbench fig2                  # the motivating BMM-vs-index experiment
 //	mipsbench -scale 1 fig5         # full-scale headline grid
 //	mipsbench -models r2-nomad-50 fig8
+//	mipsbench sharding              # item-shard count sweep + per-shard plans
 package main
 
 import (

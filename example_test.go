@@ -59,6 +59,36 @@ func ExampleNewServer() {
 	// exact: true
 }
 
+// Item-sharded execution: NewSharded splits the catalog into shards, builds
+// one sub-solver per shard, fans queries out in parallel, and merges the
+// partial top-Ks — results are identical to the unsharded solver's. With
+// NewShardPlanner, the paper's index-or-not decision runs once per shard
+// instead of once per corpus.
+func ExampleNewSharded() {
+	cfg, _ := optimus.DatasetByName("r2-nomad-10")
+	ds, _ := optimus.GenerateDataset(cfg.Scale(0.02))
+
+	sh := optimus.NewSharded(optimus.ShardedConfig{
+		Shards:      4,
+		Partitioner: optimus.ShardByNorm(),
+		Factory:     func() optimus.Solver { return optimus.NewBMM(optimus.BMMConfig{}) },
+	})
+	if err := sh.Build(ds.Users, ds.Items); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := sh.QueryAll(3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("shards:", len(sh.Plans()))
+	fmt.Println("exact:", optimus.VerifyAll(ds.Users, ds.Items, res, 3, 1e-9) == nil)
+	// Output:
+	// shards: 4
+	// exact: true
+}
+
 // Any solver can be used standalone through the shared Solver interface.
 func ExampleNewMaximus() {
 	users, _ := optimus.MatrixFromRows([][]float64{

@@ -9,9 +9,12 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
-// allSolvers builds one of each exact solver through the public facade.
+// allSolvers builds one of each exact solver through the public facade,
+// including the item-sharded composites (which must agree with everything
+// else at any shard count and partitioning).
 func allSolvers() []Solver {
 	return []Solver{
 		NewBMM(BMMConfig{}),
@@ -22,6 +25,15 @@ func allSolvers() []Solver {
 		NewFexipro(FexiproConfig{Variant: FexiproSIR}),
 		NewConeTree(ConeTreeConfig{}),
 		NewNaive(),
+		NewSharded(ShardedConfig{
+			Shards:  3,
+			Factory: func() Solver { return NewBMM(BMMConfig{}) },
+		}),
+		NewSharded(ShardedConfig{
+			Shards:      4,
+			Partitioner: ShardByNorm(),
+			Factory:     func() Solver { return NewMaximus(MaximusConfig{Seed: 9}) },
+		}),
 	}
 }
 
@@ -266,6 +278,59 @@ func TestServerOverOptimusChoice(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := VerifyTopK(ds.Users.Row(0), ds.Items, res, 3, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerOverShardedPlanner routes serving-layer batches through the
+// item-sharded executor with per-shard OPTIMUS planning — the full
+// production stack: micro-batching front end, shard fan-out, per-shard
+// strategy choice, k-way merge.
+func TestServerOverShardedPlanner(t *testing.T) {
+	cfg, err := DatasetByName("r2-nomad-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateDataset(cfg.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewSharded(ShardedConfig{
+		Shards:      2,
+		Partitioner: ShardByNorm(),
+		Planner: NewShardPlanner(OptimusConfig{
+			SampleFraction: 0.1, L2CacheBytes: 1 << 10, Seed: 8,
+		}, 3, func() Solver { return NewMaximus(MaximusConfig{Seed: 8}) }),
+	})
+	if err := sh.Build(ds.Users, ds.Items); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sh, ServerConfig{MaxBatch: 16, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			u := g % ds.Users.Rows()
+			k := 1 + g%5
+			res, err := srv.Query(context.Background(), u, k)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := VerifyTopK(ds.Users.Row(u), ds.Items, res, k, 1e-9); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Fatal(err)
 	}
 }

@@ -71,6 +71,7 @@ func New(opt Options) *Runner {
 func Experiments() []string {
 	return []string{
 		"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
+		"sharding",
 		"ablation-clustering", "ablation-params", "ablation-ttest", "ablation-costmodel",
 		"ablation-conetree", "ablation-approx",
 	}
@@ -95,6 +96,8 @@ func (r *Runner) Run(id string) error {
 		return r.Fig8()
 	case "table2":
 		return r.Table2()
+	case "sharding":
+		return r.Sharding()
 	case "ablation-clustering":
 		return r.AblationClustering()
 	case "ablation-params":
@@ -169,24 +172,33 @@ func (t timing) Total() time.Duration { return t.Build + t.Query }
 // measure builds s on the model and runs QueryAll(k), verifying exactness
 // when the runner is configured to.
 func (r *Runner) measure(s mips.Solver, m *dataset.Model, k int) (timing, error) {
+	tm, _, err := r.measureResults(s, m, k)
+	return tm, err
+}
+
+// measureResults is measure, also returning the query results it already
+// computed (for experiments that post-process them, e.g. the sharding
+// identity check — re-running QueryAll just to capture entries would
+// double the experiment's query work).
+func (r *Runner) measureResults(s mips.Solver, m *dataset.Model, k int) (timing, [][]topk.Entry, error) {
 	var tm timing
 	t0 := time.Now()
 	if err := s.Build(m.Users, m.Items); err != nil {
-		return tm, fmt.Errorf("%s build: %w", s.Name(), err)
+		return tm, nil, fmt.Errorf("%s build: %w", s.Name(), err)
 	}
 	tm.Build = time.Since(t0)
 	t1 := time.Now()
 	res, err := s.QueryAll(k)
 	if err != nil {
-		return tm, fmt.Errorf("%s query: %w", s.Name(), err)
+		return tm, nil, fmt.Errorf("%s query: %w", s.Name(), err)
 	}
 	tm.Query = time.Since(t1)
 	if r.opt.Verify {
 		if err := mips.VerifyAll(m.Users, m.Items, res, k, 1e-8); err != nil {
-			return tm, fmt.Errorf("%s verification: %w", s.Name(), err)
+			return tm, nil, fmt.Errorf("%s verification: %w", s.Name(), err)
 		}
 	}
-	return tm, nil
+	return tm, res, nil
 }
 
 // queryOnly runs QueryAll(k) on an already-built solver.

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"optimus/internal/core"
+	"optimus/internal/mips"
+	"optimus/internal/shard"
+	"optimus/internal/topk"
+)
+
+// Sharding sweeps the shard count S of the item-sharded execution layer
+// over a BMM-regime and an index-regime model: build and query time per S,
+// speedup over the unsharded baseline, and (when verification is on) an
+// entry-level identity check against the unsharded results — a divergence
+// is an error, like every other -verify failure in the harness. A second
+// section runs the per-shard OPTIMUS planner over a norm-sorted partition
+// and reports which strategy each shard received.
+func (r *Runner) Sharding() error {
+	r.printf("== Sharding: item-sharded execution, shard-count sweep (K=10) ==\n")
+	for _, name := range r.modelsOrDefault([]string{"netflix-nomad-50", "r2-nomad-50"}) {
+		m, err := r.generate(name)
+		if err != nil {
+			return err
+		}
+		const k = 10
+		base := r.newSolver("BMM")
+		baseTm, baseline, err := r.measureResults(base, m, k)
+		if err != nil {
+			return err
+		}
+		r.printf("%-20s %8s %10s %10s %10s %10s\n",
+			name, "S", "build", "query", "total", "speedup")
+		r.printf("%-20s %8s %8sms %8sms %8sms %10s\n",
+			"BMM (unsharded)", "-", ms(baseTm.Build), ms(baseTm.Query), ms(baseTm.Total()), "1.00x")
+		for _, shards := range []int{1, 2, 4, 8, 16} {
+			sh := shard.New(shard.Config{
+				Shards:  shards,
+				Threads: r.opt.Threads,
+				Factory: func() mips.Solver {
+					return core.NewBMM(core.BMMConfig{Threads: r.opt.Threads})
+				},
+			})
+			tm, res, err := r.measureResults(sh, m, k)
+			if err != nil {
+				return err
+			}
+			if r.opt.Verify {
+				for u := range baseline {
+					if !sameItems(baseline[u], res[u]) {
+						return fmt.Errorf("sharding %s S=%d: user %d entries diverge from unsharded (%v vs %v)",
+							name, shards, u, res[u], baseline[u])
+					}
+				}
+			}
+			r.printf("%-20s %8d %8sms %8sms %8sms %10s\n",
+				"Sharded(BMM)", shards, ms(tm.Build), ms(tm.Query), ms(tm.Total()),
+				ratio(baseTm.Total(), tm.Total()))
+		}
+
+		// Per-shard planning over the norm-sorted partition: the paper's
+		// §IV decision at shard granularity.
+		planned := shard.New(shard.Config{
+			Shards:      4,
+			Partitioner: shard.ByNorm(),
+			Threads:     r.opt.Threads,
+			Planner: shard.NewOptimusPlanner(core.OptimusConfig{
+				Seed: r.opt.Seed, Threads: r.opt.Threads,
+			}, k, func() mips.Solver {
+				return core.NewMaximus(core.MaximusConfig{Seed: r.opt.Seed + 7, Threads: r.opt.Threads})
+			}),
+		})
+		t0 := time.Now()
+		if err := planned.Build(m.Users, m.Items); err != nil {
+			return err
+		}
+		planTime := time.Since(t0)
+		r.printf("  per-shard OPTIMUS plan (by-norm, S=4, planned in %sms):", ms(planTime))
+		for si, p := range planned.Plans() {
+			r.printf(" shard%d=%s(%d items)", si, p.Solver, p.Items)
+		}
+		r.printf("\n\n")
+	}
+	return nil
+}
+
+// sameItems reports whether two rankings list identical items in identical
+// order (scores are allowed to differ by kernel rounding).
+func sameItems(a, b []topk.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Item != b[i].Item {
+			return false
+		}
+	}
+	return true
+}

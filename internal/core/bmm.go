@@ -73,6 +73,22 @@ func (b *BMM) Name() string { return "BMM" }
 // Batches implements mips.Solver: BMM's entire advantage is batching.
 func (b *BMM) Batches() bool { return true }
 
+// NumUsers implements mips.Sized.
+func (b *BMM) NumUsers() int {
+	if b.users == nil {
+		return 0
+	}
+	return b.users.Rows()
+}
+
+// NumItems implements mips.Sized.
+func (b *BMM) NumItems() int {
+	if b.items == nil {
+		return 0
+	}
+	return b.items.Rows()
+}
+
 // Build implements mips.Solver. BMM has no index; Build only validates and
 // retains the inputs — the asymmetry (free construction, expensive traversal)
 // that OPTIMUS's design exploits.

@@ -142,6 +142,22 @@ func (m *Maximus) SetThreads(n int) { m.cfg.Threads = parallel.Resolve(n) }
 // (§IV-A: the t-test shortcut is unavailable for batching indexes).
 func (m *Maximus) Batches() bool { return true }
 
+// NumUsers implements mips.Sized.
+func (m *Maximus) NumUsers() int {
+	if m.users == nil {
+		return 0
+	}
+	return m.users.Rows()
+}
+
+// NumItems implements mips.Sized.
+func (m *Maximus) NumItems() int {
+	if m.items == nil {
+		return 0
+	}
+	return m.items.Rows()
+}
+
 // Timings returns the Build stage breakdown.
 func (m *Maximus) Timings() MaximusTimings { return m.timings }
 

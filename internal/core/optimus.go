@@ -214,6 +214,12 @@ func (o *Optimus) Measure(users, items *mat.Matrix, k int) (*Decision, error) {
 	return dec, err
 }
 
+// Solver returns the candidate with the given strategy name, falling back
+// to the BMM arm for unknown names. After Measure, Solver(decision.Winner)
+// is the built winner, ready to finish the batch — the per-shard planner in
+// internal/shard retrieves each shard's chosen solver this way.
+func (o *Optimus) Solver(name string) mips.Solver { return o.solverByName(name) }
+
 func (o *Optimus) solverByName(name string) mips.Solver {
 	if name == o.bmm.Name() {
 		return o.bmm

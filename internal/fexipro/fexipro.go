@@ -136,6 +136,17 @@ func (x *Index) Name() string { return x.cfg.Variant.String() }
 // property that lets OPTIMUS apply its incremental t-test (§IV-A).
 func (x *Index) Batches() bool { return false }
 
+// NumUsers implements mips.Sized.
+func (x *Index) NumUsers() int {
+	if x.tUsers == nil {
+		return 0
+	}
+	return x.tUsers.Rows()
+}
+
+// NumItems implements mips.Sized.
+func (x *Index) NumItems() int { return len(x.ids) }
+
 // BuildTime returns the wall-clock cost of the last Build call.
 func (x *Index) BuildTime() time.Duration { return x.buildTime }
 

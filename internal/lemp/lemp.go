@@ -136,6 +136,17 @@ func (x *Index) Name() string { return "LEMP" }
 // Batches implements mips.Solver. LEMP answers one user at a time.
 func (x *Index) Batches() bool { return false }
 
+// NumUsers implements mips.Sized.
+func (x *Index) NumUsers() int {
+	if x.users == nil {
+		return 0
+	}
+	return x.users.Rows()
+}
+
+// NumItems implements mips.Sized.
+func (x *Index) NumItems() int { return len(x.ids) }
+
 // BuildTime returns the wall-clock cost of the last Build call — the index
 // construction time Fig 4 compares against retrieval time.
 func (x *Index) BuildTime() time.Duration { return x.buildTime }

@@ -39,6 +39,30 @@ type Solver interface {
 	Batches() bool
 }
 
+// Factory constructs a fresh, unbuilt Solver. Composite solvers — the
+// item-sharded executor in internal/shard, the per-shard OPTIMUS planner —
+// need to instantiate one independent sub-solver per partition; a closure
+// over the desired configuration is exactly that:
+//
+//	factory := func() mips.Solver { return core.NewBMM(core.BMMConfig{}) }
+//
+// Successive calls must return distinct instances (each will be Built on a
+// different item subset); returning a shared instance is a caller bug.
+type Factory func() Solver
+
+// Sized is the optional interface for solvers that can report the corpus
+// dimensions they were built over. Front ends use it to validate request
+// parameters without a solver round-trip — internal/serving triages a
+// poisoned batch this way, isolating the bad requests in O(1) extra solver
+// calls instead of re-querying the whole batch serially. Both methods
+// return 0 before Build.
+type Sized interface {
+	// NumUsers returns the number of user rows the solver was built over.
+	NumUsers() int
+	// NumItems returns the number of item rows the solver was built over.
+	NumItems() int
+}
+
 // ThreadSetter is the optional interface for solvers whose query parallelism
 // can be adjusted after construction (n <= 0 selects the package-wide
 // default from internal/parallel). The OPTIMUS optimizer uses it to align
@@ -97,6 +121,22 @@ func (n *Naive) Name() string { return "Naive" }
 // Batches implements Solver; the naive loop shares no work across users.
 func (n *Naive) Batches() bool { return false }
 
+// NumUsers implements Sized.
+func (n *Naive) NumUsers() int {
+	if n.users == nil {
+		return 0
+	}
+	return n.users.Rows()
+}
+
+// NumItems implements Sized.
+func (n *Naive) NumItems() int {
+	if n.items == nil {
+		return 0
+	}
+	return n.items.Rows()
+}
+
 // Build implements Solver.
 func (n *Naive) Build(users, items *mat.Matrix) error {
 	if err := ValidateInputs(users, items); err != nil {
@@ -134,11 +174,7 @@ func (n *Naive) QueryAll(k int) ([][]topk.Entry, error) {
 	if n.users == nil {
 		return nil, fmt.Errorf("mips: QueryAll before Build")
 	}
-	ids := make([]int, n.users.Rows())
-	for i := range ids {
-		ids[i] = i
-	}
-	return n.Query(ids, k)
+	return n.Query(AllUserIDs(n.users.Rows()), k)
 }
 
 // AllUserIDs returns the identity id list [0, n).

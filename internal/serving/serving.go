@@ -232,22 +232,9 @@ func (s *Server) dispatch(batch []request) {
 		byK[req.k] = append(byK[req.k], req)
 	}
 	for k, reqs := range byK {
-		ids := make([]int, len(reqs))
-		for i, req := range reqs {
-			ids[i] = req.userID
-		}
-		results, err := s.solver.Query(ids, k)
+		results, err := s.solver.Query(groupIDs(reqs), k)
 		if err != nil {
-			// A bad id or k poisons only this group; answer each request
-			// individually so valid ones still succeed.
-			for _, req := range reqs {
-				r, e := s.solver.Query([]int{req.userID}, req.k)
-				if e != nil {
-					req.done <- response{err: e}
-				} else {
-					req.done <- response{entries: r[0]}
-				}
-			}
+			s.retryGroup(reqs, k)
 			continue
 		}
 		for i, req := range reqs {
@@ -258,4 +245,78 @@ func (s *Server) dispatch(batch []request) {
 	s.requests += int64(len(batch))
 	s.batches++
 	s.mu.Unlock()
+}
+
+// retryGroup handles a k-group whose batched Query failed. A bad id or k
+// poisons only the requests that carry it, so the healthy majority should
+// not pay a per-request solver call each: when the solver reports its
+// corpus dimensions (mips.Sized), the poisoned requests are identified by
+// inspection, answered individually (one probe each, preserving the
+// solver's own error text), and everything else is answered by a single
+// group retry — O(poisoned) extra solver calls instead of O(batch). Solvers
+// without size information fall back to the serial path.
+func (s *Server) retryGroup(reqs []request, k int) {
+	sized, ok := s.solver.(mips.Sized)
+	if !ok {
+		s.retrySerial(reqs)
+		return
+	}
+	nUsers, nItems := sized.NumUsers(), sized.NumItems()
+	var good, bad []request
+	for _, req := range reqs {
+		if req.userID < 0 || req.userID >= nUsers || req.k < 1 || req.k > nItems {
+			bad = append(bad, req)
+		} else {
+			good = append(good, req)
+		}
+	}
+	if len(bad) == 0 {
+		// The failure was not request-shaped (solver fault); the serial
+		// path at least salvages whatever still answers.
+		s.retrySerial(reqs)
+		return
+	}
+	for _, req := range bad {
+		_, err := s.solver.Query([]int{req.userID}, req.k)
+		if err == nil {
+			// The solver accepted what the size check rejected; trust the
+			// solver and fold the request into the healthy retry.
+			good = append(good, req)
+			continue
+		}
+		req.done <- response{err: err}
+	}
+	if len(good) == 0 {
+		return
+	}
+	results, err := s.solver.Query(groupIDs(good), k)
+	if err != nil {
+		s.retrySerial(good)
+		return
+	}
+	for i, req := range good {
+		req.done <- response{entries: results[i]}
+	}
+}
+
+// retrySerial answers every request with its own solver call — the last
+// resort when the poison cannot be localized.
+func (s *Server) retrySerial(reqs []request) {
+	for _, req := range reqs {
+		r, err := s.solver.Query([]int{req.userID}, req.k)
+		if err != nil {
+			req.done <- response{err: err}
+		} else {
+			req.done <- response{entries: r[0]}
+		}
+	}
+}
+
+// groupIDs collects the user ids of one k-group.
+func groupIDs(reqs []request) []int {
+	ids := make([]int, len(reqs))
+	for i, req := range reqs {
+		ids[i] = req.userID
+	}
+	return ids
 }

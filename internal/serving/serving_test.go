@@ -10,6 +10,7 @@ import (
 	"optimus/internal/core"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/topk"
 )
 
 func buildSolver(t testing.TB, nUsers, nItems, f int) (mips.Solver, *mat.Matrix, *mat.Matrix) {
@@ -180,6 +181,135 @@ func TestBadRequestDoesNotPoisonBatch(t *testing.T) {
 	}
 	if results[1] == nil || results[3] == nil {
 		t.Fatal("invalid user ids must fail individually")
+	}
+}
+
+// countingSolver wraps a solver and counts Query calls, forwarding the
+// wrapped solver's mips.Sized information.
+type countingSolver struct {
+	mips.Solver
+	calls int
+}
+
+func (c *countingSolver) Query(ids []int, k int) ([][]topk.Entry, error) {
+	c.calls++
+	return c.Solver.Query(ids, k)
+}
+
+func (c *countingSolver) NumUsers() int { return c.Solver.(mips.Sized).NumUsers() }
+func (c *countingSolver) NumItems() int { return c.Solver.(mips.Sized).NumItems() }
+
+// hidden re-wraps a countingSolver so the mips.Sized type assertion fails.
+type hidden struct{ c *countingSolver }
+
+func (h hidden) Name() string                 { return h.c.Name() }
+func (h hidden) Batches() bool                { return h.c.Batches() }
+func (h hidden) Build(u, i *mat.Matrix) error { return h.c.Build(u, i) }
+func (h hidden) QueryAll(k int) ([][]topk.Entry, error) { return h.c.QueryAll(k) }
+func (h hidden) Query(ids []int, k int) ([][]topk.Entry, error) {
+	return h.c.Query(ids, k)
+}
+
+// dispatchBatch drives the dispatcher directly with a synthetic batch, so
+// the call accounting is deterministic (no batching-window races).
+func dispatchBatch(t *testing.T, srv *Server, userIDs []int, k int) []response {
+	t.Helper()
+	batch := make([]request, len(userIDs))
+	for i, u := range userIDs {
+		batch[i] = request{userID: u, k: k, done: make(chan response, 1)}
+	}
+	srv.dispatch(batch)
+	out := make([]response, len(batch))
+	for i, req := range batch {
+		select {
+		case out[i] = <-req.done:
+		default:
+			t.Fatalf("request %d not answered", i)
+		}
+	}
+	return out
+}
+
+// TestPoisonedBatchCostsO1ExtraCalls is the regression test for the batch
+// retry path: one bad user id in a batch of B must cost O(1) extra solver
+// calls (the failed group, one probe for the poisoned request, one group
+// retry for the healthy rest), not O(B).
+func TestPoisonedBatchCostsO1ExtraCalls(t *testing.T) {
+	base, users, items := buildSolver(t, 64, 40, 5)
+	cs := &countingSolver{Solver: base}
+	srv, err := New(cs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const batchSize = 32
+	ids := make([]int, batchSize)
+	for i := range ids {
+		ids[i] = i
+	}
+	ids[11] = 999 // the poison
+	cs.calls = 0
+	out := dispatchBatch(t, srv, ids, 3)
+	const wantCalls = 3 // failed group + poisoned probe + healthy retry
+	if cs.calls != wantCalls {
+		t.Fatalf("batch of %d with one bad id cost %d solver calls, want %d",
+			batchSize, cs.calls, wantCalls)
+	}
+	for i, resp := range out {
+		if i == 11 {
+			if resp.err == nil {
+				t.Fatal("poisoned request must fail")
+			}
+			continue
+		}
+		if resp.err != nil {
+			t.Fatalf("healthy request %d failed: %v", i, resp.err)
+		}
+		if err := mips.VerifyTopK(users.Row(ids[i]), items, resp.entries, 3, 1e-9); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	// Several poisoned requests: extra calls grow with the poison count,
+	// never with the batch size.
+	ids[3], ids[20] = -5, 1000
+	cs.calls = 0
+	dispatchBatch(t, srv, ids, 3)
+	if want := 1 + 3 + 1; cs.calls != want { // group + 3 probes + retry
+		t.Fatalf("3 bad ids cost %d solver calls, want %d", cs.calls, want)
+	}
+
+	// A fully healthy batch stays a single call.
+	ids[3], ids[11], ids[20] = 3, 11, 20
+	cs.calls = 0
+	dispatchBatch(t, srv, ids, 3)
+	if cs.calls != 1 {
+		t.Fatalf("healthy batch cost %d solver calls, want 1", cs.calls)
+	}
+}
+
+// TestPoisonedBatchSerialFallback pins the behaviour for solvers that do
+// not report their size: correctness is preserved through the serial path.
+func TestPoisonedBatchSerialFallback(t *testing.T) {
+	base, users, items := buildSolver(t, 30, 20, 4)
+	cs := &countingSolver{Solver: base}
+	srv, err := New(hidden{cs}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	out := dispatchBatch(t, srv, []int{2, 999, 5}, 3)
+	if out[1].err == nil {
+		t.Fatal("poisoned request must fail")
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].err != nil {
+			t.Fatalf("healthy request %d failed: %v", i, out[i].err)
+		}
+	}
+	if err := mips.VerifyTopK(users.Row(2), items, out[0].entries, 3, 1e-9); err != nil {
+		t.Fatal(err)
 	}
 }
 

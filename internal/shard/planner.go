@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"fmt"
+
+	"optimus/internal/core"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/parallel"
+)
+
+// OptimusPlanner applies the paper's §IV sample-and-measure decision once
+// per shard instead of once per workload: for each shard it instantiates a
+// fresh BMM-vs-indexes optimizer over the shard's items, measures every
+// candidate on the sampled users, and keeps the built winner. On a corpus
+// whose shards sit in different regimes (a norm-skewed head, a flat tail),
+// different shards genuinely get different strategies — the finer-grained
+// version of the paper's "to index or not to index" answer.
+type OptimusPlanner struct {
+	cfg        core.OptimusConfig
+	planK      int
+	candidates []mips.Factory
+}
+
+// DefaultPlanK is the top-K depth a planner measures at when the config
+// leaves it zero; it matches the repository's default reporting depth.
+const DefaultPlanK = 10
+
+// NewOptimusPlanner returns a Planner choosing per shard between BMM and
+// the index candidates the factories construct (none is valid: the plan
+// degenerates to BMM everywhere). planK is the top-K depth the measurement
+// runs at; <= 0 selects DefaultPlanK. The OptimusConfig zero value selects
+// the paper's settings, as in core.NewOptimus.
+func NewOptimusPlanner(cfg core.OptimusConfig, planK int, candidates ...mips.Factory) *OptimusPlanner {
+	if planK <= 0 {
+		planK = DefaultPlanK
+	}
+	return &OptimusPlanner{cfg: cfg, planK: planK, candidates: candidates}
+}
+
+// Name implements Planner.
+func (p *OptimusPlanner) Name() string { return "OPTIMUS" }
+
+// SetThreads implements mips.ThreadSetter: subsequent Plan calls measure at
+// the given parallelism. Sharded.Build forwards its own Threads here before
+// planning, so each shard's decision is measured at the parallelism the
+// winner will actually run at — sampling at one thread count and running at
+// another would bias the crossover (see core.OptimusConfig.Threads).
+func (p *OptimusPlanner) SetThreads(n int) { p.cfg.Threads = parallel.Resolve(n) }
+
+// Plan implements Planner: run one sampled measurement over this shard's
+// items and return the built winner. The measurement's sampled results are
+// discarded (they cover only the plan depth), but index construction is
+// retained — the winner is ready to query.
+func (p *OptimusPlanner) Plan(users, items *mat.Matrix) (mips.Solver, string, error) {
+	indexes := make([]mips.Solver, 0, len(p.candidates))
+	for i, factory := range p.candidates {
+		solver := factory()
+		if solver == nil {
+			return nil, "", fmt.Errorf("shard: planner candidate %d factory returned nil solver", i)
+		}
+		indexes = append(indexes, solver)
+	}
+	k := p.planK
+	if k > items.Rows() {
+		k = items.Rows()
+	}
+	opt := core.NewOptimus(p.cfg, indexes...)
+	dec, err := opt.Measure(users, items, k)
+	if err != nil {
+		return nil, "", err
+	}
+	return opt.Solver(dec.Winner), dec.Winner, nil
+}

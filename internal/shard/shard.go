@@ -1,0 +1,483 @@
+// Package shard implements the item-partitioned execution layer: a Sharded
+// composite mips.Solver that splits the item corpus into S shards, builds
+// one independent sub-solver per shard, fans queries out on the shared
+// internal/parallel pool, and k-way merges the per-shard partial top-Ks back
+// into globally-identified exact results.
+//
+// Why shard the *items*? Real corpora are heterogeneous within one workload:
+// LEMP already buckets items by norm because the head of a norm-skewed
+// catalog prunes differently from its tail, and tree methods partition the
+// item set recursively. The paper's OPTIMUS decision (§IV) — index or
+// brute-force? — is taken once per workload; sharding lets it be taken once
+// per *item partition*, so a norm-skewed head shard can run MAXIMUS while
+// the flat tail runs BMM (see Planner / NewOptimusPlanner). Sharding also
+// caps per-solver build state (one shard's index at a time) and is the unit
+// a distributed deployment would scale out over.
+//
+// Exactness is non-negotiable: each sub-solver is exact on its shard, item
+// ids are remapped back to the global space, and the merge applies the
+// repository's descending-score/ascending-id tie convention, so Sharded
+// results are identical — same items, same order — to the unsharded
+// solver's, at every shard count. The per-shard id mappings are kept
+// ascending in global id precisely so shard-local tie-breaking agrees with
+// global tie-breaking. (Scores agree to within the kernels' floating-point
+// rounding: a sub-matrix places items at different offsets inside the
+// blocked GEMM's unrolled edges, which can move the last ulp — the same
+// noise floor the repository's cross-solver agreement tests tolerate.)
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/parallel"
+	"optimus/internal/topk"
+)
+
+// Partitioner decides shard membership for every item row.
+type Partitioner interface {
+	// Name identifies the partitioning scheme in reports.
+	Name() string
+	// Partition splits the item ids [0, items.Rows()) into at most `shards`
+	// groups. Every id must appear in exactly one group; empty groups are
+	// dropped by the Sharded builder. Group order is the shard order.
+	Partition(items *mat.Matrix, shards int) [][]int
+}
+
+// contiguous splits items into equal consecutive ranges — the zero-copy
+// default (each shard's sub-matrix aliases the original rows).
+type contiguous struct{}
+
+// Contiguous returns the default partitioner: S equal consecutive item
+// ranges.
+func Contiguous() Partitioner { return contiguous{} }
+
+func (contiguous) Name() string { return "contiguous" }
+
+func (contiguous) Partition(items *mat.Matrix, shards int) [][]int {
+	n := items.Rows()
+	out := make([][]int, 0, shards)
+	for s := 0; s < shards; s++ {
+		lo, hi := n*s/shards, n*(s+1)/shards
+		if lo == hi {
+			continue
+		}
+		out = append(out, identityRange(lo, hi))
+	}
+	return out
+}
+
+// byNorm groups items by descending Euclidean norm: shard 0 holds the
+// largest-norm head of the catalog, the last shard its flattest tail. This
+// is the partition that gives per-shard planning something to exploit — on
+// a norm-skewed corpus the head shard rewards pruning indexes while the
+// tail defeats them (the same observation behind LEMP's norm buckets).
+type byNorm struct{}
+
+// ByNorm returns the norm-sorted partitioner.
+func ByNorm() Partitioner { return byNorm{} }
+
+func (byNorm) Name() string { return "by-norm" }
+
+func (byNorm) Partition(items *mat.Matrix, shards int) [][]int {
+	n := items.Rows()
+	order := identityRange(0, n)
+	norms := items.RowNorms()
+	sort.SliceStable(order, func(a, b int) bool { return norms[order[a]] > norms[order[b]] })
+	out := make([][]int, 0, shards)
+	for s := 0; s < shards; s++ {
+		lo, hi := n*s/shards, n*(s+1)/shards
+		if lo == hi {
+			continue
+		}
+		// Membership comes from the norm order; within the shard, ids are
+		// re-sorted ascending so shard-local tie-breaking matches global
+		// tie-breaking (see the package comment).
+		ids := make([]int, hi-lo)
+		copy(ids, order[lo:hi])
+		sort.Ints(ids)
+		out = append(out, ids)
+	}
+	return out
+}
+
+// Planner chooses and builds the solver for one shard. NewOptimusPlanner
+// (planner.go) adapts the paper's sample-and-measure optimizer to this
+// interface; a Config supplies either a Planner or a fixed Factory.
+type Planner interface {
+	// Name identifies the planning scheme in reports.
+	Name() string
+	// Plan returns a solver already built over (users, items), plus the
+	// name of the strategy it chose for reports.
+	Plan(users, items *mat.Matrix) (mips.Solver, string, error)
+}
+
+// Config configures a Sharded solver.
+type Config struct {
+	// Shards is the number of item partitions S; 0 (the zero value) defers
+	// to the resolved Threads count, and S is always clamped to the item
+	// count at Build.
+	Shards int
+	// Partitioner decides shard membership; nil selects Contiguous().
+	Partitioner Partitioner
+	// Factory constructs one fresh sub-solver per shard. Required unless
+	// Planner is set.
+	Factory mips.Factory
+	// Planner, when non-nil, selects a (possibly different) solver per
+	// shard instead of Factory — the per-shard OPTIMUS decision. Shards are
+	// then planned serially so the planner's timing measurements do not
+	// contend with each other, and a planner implementing mips.ThreadSetter
+	// is aligned to Threads first so decisions are measured at the
+	// parallelism the winners will run at.
+	Planner Planner
+	// Threads parallelizes the shard fan-out (and is forwarded to
+	// sub-solvers implementing mips.ThreadSetter via SetThreads); 0 defers
+	// to the package-wide parallel.Threads() default.
+	Threads int
+}
+
+// shardState is one built partition.
+type shardState struct {
+	solver mips.Solver
+	plan   string // strategy name chosen for this shard
+	ids    []int  // ascending global item ids; nil when contiguous
+	base   int    // first global id when contiguous
+	count  int    // number of items in the shard
+}
+
+// globalID maps a shard-local item id back to the corpus id space.
+func (s *shardState) globalID(local int) int {
+	if s.ids == nil {
+		return s.base + local
+	}
+	return s.ids[local]
+}
+
+// Sharded is the composite item-sharded solver. Create with New; it
+// implements mips.Solver, mips.Sized, and mips.ThreadSetter.
+type Sharded struct {
+	cfg  Config
+	name string
+	// probeBatches caches one Factory instance's Batches() answer, taken at
+	// New — the pre-Build answer (planned configurations always report
+	// true: their BMM arm batches).
+	probeBatches bool
+	users        *mat.Matrix
+	items        *mat.Matrix
+	shards       []shardState
+	batches      bool
+}
+
+// New returns an unbuilt Sharded solver. Zero-valued config fields fall
+// back to the defaults documented on Config.
+func New(cfg Config) *Sharded {
+	cfg.Threads = parallel.Resolve(cfg.Threads)
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.Threads
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = Contiguous()
+	}
+	s := &Sharded{cfg: cfg, name: "Sharded"}
+	switch {
+	case cfg.Planner != nil:
+		s.name = fmt.Sprintf("Sharded(%s,S=%d)", cfg.Planner.Name(), cfg.Shards)
+		s.probeBatches = true
+	case cfg.Factory != nil:
+		if probe := cfg.Factory(); probe != nil {
+			s.name = fmt.Sprintf("Sharded(%s,S=%d)", probe.Name(), cfg.Shards)
+			s.probeBatches = probe.Batches()
+		}
+	}
+	return s
+}
+
+// Name implements mips.Solver.
+func (s *Sharded) Name() string { return s.name }
+
+// Batches implements mips.Solver: the composite batches iff any built shard
+// batches (an unbuilt Sharded reports the Factory's behaviour, probed once
+// at New, or true for planned configurations, whose BMM arm always
+// batches).
+func (s *Sharded) Batches() bool {
+	if s.shards != nil {
+		return s.batches
+	}
+	return s.probeBatches
+}
+
+// NumUsers implements mips.Sized.
+func (s *Sharded) NumUsers() int {
+	if s.users == nil {
+		return 0
+	}
+	return s.users.Rows()
+}
+
+// NumItems implements mips.Sized.
+func (s *Sharded) NumItems() int {
+	if s.items == nil {
+		return 0
+	}
+	return s.items.Rows()
+}
+
+// SetThreads implements mips.ThreadSetter, forwarding to every sub-solver
+// that supports it so OPTIMUS-style measurement aligns the whole composite.
+func (s *Sharded) SetThreads(n int) {
+	s.cfg.Threads = parallel.Resolve(n)
+	for i := range s.shards {
+		if ts, ok := s.shards[i].solver.(mips.ThreadSetter); ok {
+			ts.SetThreads(n)
+		}
+	}
+}
+
+// Plans reports, per shard, the item count and the strategy serving it —
+// how the per-shard OPTIMUS decision came out. Empty before Build.
+func (s *Sharded) Plans() []Plan {
+	out := make([]Plan, len(s.shards))
+	for i := range s.shards {
+		out[i] = Plan{Items: s.shards[i].count, Solver: s.shards[i].plan}
+	}
+	return out
+}
+
+// Plan describes one shard's assignment.
+type Plan struct {
+	// Items is the number of item rows in the shard.
+	Items int
+	// Solver is the name of the strategy built for the shard.
+	Solver string
+}
+
+// Build implements mips.Solver: partition the items, then build one
+// sub-solver per shard (via Factory, in parallel) or plan one per shard
+// (via Planner, serially — planning measures wall-clock and must not
+// contend with itself).
+func (s *Sharded) Build(users, items *mat.Matrix) error {
+	if err := mips.ValidateInputs(users, items); err != nil {
+		return err
+	}
+	if s.cfg.Factory == nil && s.cfg.Planner == nil {
+		return fmt.Errorf("shard: config needs a Factory or a Planner")
+	}
+	nShards := s.cfg.Shards
+	if nShards > items.Rows() {
+		nShards = items.Rows()
+	}
+	raw := s.cfg.Partitioner.Partition(items, nShards)
+	parts := make([][]int, 0, len(raw))
+	for _, ids := range raw {
+		if len(ids) > 0 {
+			parts = append(parts, ids)
+		}
+	}
+	if err := validatePartition(parts, items.Rows()); err != nil {
+		return fmt.Errorf("shard: partitioner %q: %w", s.cfg.Partitioner.Name(), err)
+	}
+
+	shards := make([]shardState, len(parts))
+	subItems := make([]*mat.Matrix, len(parts))
+	for i, ids := range parts {
+		if base, ok := contiguousRange(ids); ok {
+			// Consecutive global ids: the sub-matrix aliases the corpus
+			// rows, so contiguous sharding costs no item copies.
+			shards[i] = shardState{base: base, count: len(ids)}
+			subItems[i] = items.RowSlice(base, base+len(ids))
+		} else {
+			shards[i] = shardState{ids: ids, count: len(ids)}
+			subItems[i] = items.SelectRows(ids)
+		}
+	}
+
+	build := func(i int) error {
+		if s.cfg.Planner != nil {
+			solver, plan, err := s.cfg.Planner.Plan(users, subItems[i])
+			if err != nil {
+				return fmt.Errorf("shard %d: planning: %w", i, err)
+			}
+			shards[i].solver, shards[i].plan = solver, plan
+		} else {
+			solver := s.cfg.Factory()
+			if solver == nil {
+				return fmt.Errorf("shard %d: factory returned nil solver", i)
+			}
+			if err := solver.Build(users, subItems[i]); err != nil {
+				return fmt.Errorf("shard %d: building %s: %w", i, solver.Name(), err)
+			}
+			shards[i].solver, shards[i].plan = solver, solver.Name()
+		}
+		// The composite's thread setting governs the sub-solvers too, as
+		// Config.Threads documents.
+		if ts, ok := shards[i].solver.(mips.ThreadSetter); ok {
+			ts.SetThreads(s.cfg.Threads)
+		}
+		return nil
+	}
+	var err error
+	if s.cfg.Planner != nil {
+		// Align the planner's measurements to the parallelism the shards
+		// will run at, so per-shard decisions extrapolate correctly.
+		if ts, ok := s.cfg.Planner.(mips.ThreadSetter); ok {
+			ts.SetThreads(s.cfg.Threads)
+		}
+		for i := range shards {
+			if err = build(i); err != nil {
+				break
+			}
+		}
+	} else {
+		err = parallel.ForErrThreads(s.cfg.Threads, len(shards), 1, func(lo, hi int) error {
+			var first error
+			for i := lo; i < hi; i++ {
+				if e := build(i); e != nil && first == nil {
+					first = e
+				}
+			}
+			return first
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	s.users, s.items, s.shards = users, items, shards
+	s.batches = false
+	for i := range shards {
+		if shards[i].solver.Batches() {
+			s.batches = true
+			break
+		}
+	}
+	return nil
+}
+
+// Query implements mips.Solver: fan the id list out to every shard (each
+// shard answers min(k, shard size) on its sub-corpus), remap shard-local
+// item ids to global ids, and k-way merge per user.
+func (s *Sharded) Query(userIDs []int, k int) ([][]topk.Entry, error) {
+	if s.shards == nil {
+		return nil, fmt.Errorf("shard: Query before Build")
+	}
+	if err := mips.ValidateK(k, s.items.Rows()); err != nil {
+		return nil, err
+	}
+	for _, u := range userIDs {
+		if u < 0 || u >= s.users.Rows() {
+			return nil, fmt.Errorf("shard: user id %d out of range [0,%d)", u, s.users.Rows())
+		}
+	}
+	partials := make([][][]topk.Entry, len(s.shards))
+	err := parallel.ForErrThreads(s.cfg.Threads, len(s.shards), 1, func(lo, hi int) error {
+		var first error
+		for si := lo; si < hi; si++ {
+			if e := s.queryShard(si, userIDs, k, partials); e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]topk.Entry, len(userIDs))
+	lists := len(s.shards)
+	parallel.ForThreads(s.cfg.Threads, len(userIDs), mergeGrain, func(lo, hi int) {
+		scratch := make([][]topk.Entry, lists)
+		for u := lo; u < hi; u++ {
+			for si := range partials {
+				scratch[si] = partials[si][u]
+			}
+			out[u] = topk.MergeK(scratch, k)
+		}
+	})
+	return out, nil
+}
+
+// mergeGrain is the per-chunk user count of the merge fan-out; merges are
+// cheap (O(k log S)), so chunks are coarse.
+const mergeGrain = 64
+
+// queryShard answers one shard and remaps its item ids into global space.
+func (s *Sharded) queryShard(si int, userIDs []int, k int, partials [][][]topk.Entry) error {
+	sh := &s.shards[si]
+	kq := k
+	if kq > sh.count {
+		kq = sh.count
+	}
+	res, err := sh.solver.Query(userIDs, kq)
+	if err != nil {
+		return fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
+	}
+	if sh.ids != nil || sh.base != 0 {
+		for _, row := range res {
+			for i := range row {
+				row[i].Item = sh.globalID(row[i].Item)
+			}
+		}
+	}
+	partials[si] = res
+	return nil
+}
+
+// QueryAll implements mips.Solver.
+func (s *Sharded) QueryAll(k int) ([][]topk.Entry, error) {
+	if s.shards == nil {
+		return nil, fmt.Errorf("shard: QueryAll before Build")
+	}
+	return s.Query(mips.AllUserIDs(s.users.Rows()), k)
+}
+
+// validatePartition checks that the groups cover [0, n) exactly once and
+// sorts each group ascending (the Sharded invariant that keeps shard-local
+// tie-breaking consistent with global tie-breaking).
+func validatePartition(parts [][]int, n int) error {
+	seen := make([]bool, n)
+	total := 0
+	for _, ids := range parts {
+		if !sort.IntsAreSorted(ids) {
+			sort.Ints(ids)
+		}
+		for _, id := range ids {
+			if id < 0 || id >= n {
+				return fmt.Errorf("item id %d out of range [0,%d)", id, n)
+			}
+			if seen[id] {
+				return fmt.Errorf("item id %d assigned twice", id)
+			}
+			seen[id] = true
+		}
+		total += len(ids)
+	}
+	if total != n {
+		return fmt.Errorf("%d of %d items assigned", total, n)
+	}
+	return nil
+}
+
+// contiguousRange reports whether ids is the consecutive run [ids[0],
+// ids[0]+len), enabling the zero-copy sub-matrix path.
+func contiguousRange(ids []int) (base int, ok bool) {
+	if len(ids) == 0 {
+		return 0, false
+	}
+	for i, id := range ids {
+		if id != ids[0]+i {
+			return 0, false
+		}
+	}
+	return ids[0], true
+}
+
+// identityRange returns the ids [lo, hi).
+func identityRange(lo, hi int) []int {
+	ids := make([]int, hi-lo)
+	for i := range ids {
+		ids[i] = lo + i
+	}
+	return ids
+}

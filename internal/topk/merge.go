@@ -1,0 +1,73 @@
+package topk
+
+// MergeK merges per-shard top lists into one global top-k ranking. Every
+// input list must already be ranked by the repository convention (descending
+// score, ascending item id on ties) and must carry globally meaningful item
+// ids — the sharded executor remaps shard-local ids before merging. Lists
+// may be shorter than k (a shard holding fewer than k items reports them
+// all) and may be nil or empty; items are assumed distinct across lists
+// (shards partition the corpus), so no deduplication is performed.
+//
+// The result has min(k, Σ len(list)) entries. Cross-list ties resolve by the
+// same convention, so the merged ranking is exactly what a single solver
+// over the union of the shards would produce. Cost is O(k·log S) for S
+// lists, using a cursor heap over the list heads.
+func MergeK(lists [][]Entry, k int) []Entry {
+	if k < 1 {
+		return nil
+	}
+	// Cursor heap: heads[c] is a list index whose next entry is
+	// lists[heads[c]][pos[heads[c]]]; the root holds the best head. "Best
+	// first" is the inverse of the bounded heap's "worst first", hence the
+	// flipped less arguments.
+	pos := make([]int, len(lists))
+	heads := make([]int, 0, len(lists))
+	better := func(a, b int) bool {
+		return less(lists[b][pos[b]], lists[a][pos[a]])
+	}
+	siftDown := func(i int) {
+		n := len(heads)
+		for {
+			l, r := 2*i+1, 2*i+2
+			best := i
+			if l < n && better(heads[l], heads[best]) {
+				best = l
+			}
+			if r < n && better(heads[r], heads[best]) {
+				best = r
+			}
+			if best == i {
+				return
+			}
+			heads[i], heads[best] = heads[best], heads[i]
+			i = best
+		}
+	}
+	for li, list := range lists {
+		if len(list) > 0 {
+			heads = append(heads, li)
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	total := 0
+	for _, list := range lists {
+		total += len(list)
+	}
+	if k > total {
+		k = total
+	}
+	out := make([]Entry, 0, k)
+	for len(out) < k {
+		li := heads[0]
+		out = append(out, lists[li][pos[li]])
+		pos[li]++
+		if pos[li] == len(lists[li]) {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}

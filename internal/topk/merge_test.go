@@ -1,0 +1,170 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oracleMerge is the single-heap reference MergeK is property-tested
+// against: push every entry of every list into one bounded heap.
+func oracleMerge(lists [][]Entry, k int) []Entry {
+	h := New(k)
+	for _, list := range lists {
+		MergeInto(h, list)
+	}
+	return h.Sorted()
+}
+
+// splitSorted randomly partitions entries into nLists sorted lists — the
+// shape the sharded executor hands MergeK (each shard's partial result is
+// itself a ranked list).
+func splitSorted(rng *rand.Rand, entries []Entry, nLists int) [][]Entry {
+	lists := make([][]Entry, nLists)
+	for _, e := range entries {
+		li := rng.Intn(nLists)
+		lists[li] = append(lists[li], e)
+	}
+	for _, list := range lists {
+		sortEntries(list)
+	}
+	return lists
+}
+
+func sortEntries(list []Entry) {
+	// Insertion sort by the repository convention; test-only, sizes are
+	// small.
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && less(list[j-1], list[j]); j-- {
+			list[j-1], list[j] = list[j], list[j-1]
+		}
+	}
+}
+
+func entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeKAgainstOracle is the property test: random entry sets, random
+// shard partitions, random k — MergeK must equal the single-heap oracle
+// entry for entry (items, order, and bit-exact scores, since both paths
+// only move entries around).
+func TestMergeKAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		entries := make([]Entry, n)
+		for i := range entries {
+			// Coarse scores force plenty of exact ties.
+			entries[i] = Entry{Item: i, Score: float64(rng.Intn(8))}
+		}
+		rng.Shuffle(n, func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+		nLists := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(20)
+		lists := splitSorted(rng, entries, nLists)
+		got := MergeK(lists, k)
+		want := oracleMerge(lists, k)
+		if !entriesEqual(got, want) {
+			t.Fatalf("trial %d (n=%d lists=%d k=%d):\n got %v\nwant %v",
+				trial, n, nLists, k, got, want)
+		}
+	}
+}
+
+// TestMergeKTieBreakingAcrossShards pins the cross-shard tie rule directly:
+// equal scores resolve toward the lower global item id regardless of which
+// list holds which item.
+func TestMergeKTieBreakingAcrossShards(t *testing.T) {
+	lists := [][]Entry{
+		{{Item: 7, Score: 1}, {Item: 9, Score: 1}},
+		{{Item: 2, Score: 1}, {Item: 8, Score: 1}},
+		{{Item: 5, Score: 1}},
+	}
+	got := MergeK(lists, 5)
+	want := []Entry{{Item: 2, Score: 1}, {Item: 5, Score: 1}, {Item: 7, Score: 1}, {Item: 8, Score: 1}, {Item: 9, Score: 1}}
+	if !entriesEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestMergeKShortLists covers k larger than every per-shard count, empty
+// and nil lists, and the empty-input edges.
+func TestMergeKShortLists(t *testing.T) {
+	lists := [][]Entry{
+		{{Item: 3, Score: 5}, {Item: 0, Score: 2}},
+		nil,
+		{},
+		{{Item: 1, Score: 4}},
+	}
+	got := MergeK(lists, 10) // k far beyond the 3 available entries
+	want := []Entry{{Item: 3, Score: 5}, {Item: 1, Score: 4}, {Item: 0, Score: 2}}
+	if !entriesEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got := MergeK(nil, 5); len(got) != 0 {
+		t.Fatalf("MergeK(nil) = %v, want empty", got)
+	}
+	if got := MergeK([][]Entry{nil, {}}, 5); len(got) != 0 {
+		t.Fatalf("MergeK(empty lists) = %v, want empty", got)
+	}
+	if got := MergeK(lists, 0); got != nil {
+		t.Fatalf("MergeK(k=0) = %v, want nil", got)
+	}
+	if got := MergeK(lists, 2); !entriesEqual(got, want[:2]) {
+		t.Fatalf("MergeK(k=2) = %v, want %v", got, want[:2])
+	}
+}
+
+// TestMergeKSpecialScores checks merging stays ordered in the presence of
+// infinities and repeated extreme values.
+func TestMergeKSpecialScores(t *testing.T) {
+	inf := math.Inf(1)
+	lists := [][]Entry{
+		{{Item: 4, Score: inf}, {Item: 6, Score: -inf}},
+		{{Item: 1, Score: inf}, {Item: 2, Score: 0}},
+	}
+	got := MergeK(lists, 4)
+	want := []Entry{{Item: 1, Score: inf}, {Item: 4, Score: inf}, {Item: 2, Score: 0}, {Item: 6, Score: -inf}}
+	if !entriesEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// FuzzMergeK drives MergeK with fuzzer-chosen shapes against the oracle.
+// The corpus bytes encode (k, list assignment, score quantization) so the
+// fuzzer can explore tie-heavy and skewed partitions.
+func FuzzMergeK(f *testing.F) {
+	f.Add(uint8(3), uint8(2), []byte{0, 1, 1, 0, 2, 3})
+	f.Add(uint8(1), uint8(1), []byte{7})
+	f.Add(uint8(16), uint8(5), []byte{})
+	f.Fuzz(func(t *testing.T, kRaw, listsRaw uint8, assign []byte) {
+		k := 1 + int(kRaw)%32
+		nLists := 1 + int(listsRaw)%8
+		if len(assign) > 256 {
+			assign = assign[:256]
+		}
+		lists := make([][]Entry, nLists)
+		for i, b := range assign {
+			li := int(b) % nLists
+			// Low nibble quantizes the score: few distinct values, many
+			// exact ties.
+			lists[li] = append(lists[li], Entry{Item: i, Score: float64(b >> 4)})
+		}
+		for _, list := range lists {
+			sortEntries(list)
+		}
+		got := MergeK(lists, k)
+		want := oracleMerge(lists, k)
+		if !entriesEqual(got, want) {
+			t.Fatalf("k=%d lists=%d:\n got %v\nwant %v", k, nLists, got, want)
+		}
+	})
+}

@@ -53,6 +53,7 @@ import (
 	"optimus/internal/mips"
 	"optimus/internal/parallel"
 	"optimus/internal/serving"
+	"optimus/internal/shard"
 	"optimus/internal/topk"
 )
 
@@ -170,6 +171,43 @@ func Datasets() []DatasetConfig { return dataset.Registry() }
 
 // DatasetByName looks up one reference model configuration.
 func DatasetByName(name string) (DatasetConfig, error) { return dataset.ByName(name) }
+
+// SolverFactory constructs a fresh, unbuilt Solver; the sharded executor
+// and the per-shard planner instantiate one sub-solver per item partition
+// through it.
+type SolverFactory = mips.Factory
+
+// ShardedConfig configures the item-sharded composite solver.
+type ShardedConfig = shard.Config
+
+// Sharded splits the item corpus into shards, builds one sub-solver per
+// shard (optionally choosing a different strategy per shard via
+// NewShardPlanner), fans queries out in parallel, and k-way merges the
+// partial top-Ks. Results are identical to the unsharded solver's.
+type Sharded = shard.Sharded
+
+// ShardPlan describes one shard's item count and chosen strategy.
+type ShardPlan = shard.Plan
+
+// NewSharded returns an unbuilt item-sharded composite solver.
+func NewSharded(cfg ShardedConfig) *Sharded { return shard.New(cfg) }
+
+// ShardContiguous returns the default partitioner: equal consecutive item
+// ranges (zero-copy sub-matrices).
+func ShardContiguous() shard.Partitioner { return shard.Contiguous() }
+
+// ShardByNorm returns the norm-sorted partitioner: shard 0 holds the
+// largest-norm head of the catalog — the partition per-shard planning
+// exploits on norm-skewed corpora.
+func ShardByNorm() shard.Partitioner { return shard.ByNorm() }
+
+// NewShardPlanner returns a per-shard OPTIMUS planner for ShardedConfig:
+// each shard runs the paper's sample-and-measure decision between BMM and
+// the candidate indexes, so different shards can get different strategies.
+// planK (<= 0 selects 10) is the top-K depth the measurement runs at.
+func NewShardPlanner(cfg OptimusConfig, planK int, candidates ...SolverFactory) shard.Planner {
+	return shard.NewOptimusPlanner(cfg, planK, candidates...)
+}
 
 // ServerConfig configures the micro-batching request server.
 type ServerConfig = serving.Config
