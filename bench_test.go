@@ -231,6 +231,58 @@ func BenchmarkShardedScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkThresholdPruning — cross-shard threshold propagation on the
+// by-norm partition: the two-wave floor-seeded query (seeded) against the
+// blind single-wave fan-out (blind), for both pruning sub-solvers on a
+// norm-skewed model. Besides users/s, each run reports tail-scan/user — the
+// candidates the tail shards evaluated per queried user, a deterministic
+// counter identical across runs and thread counts — so the pruning win
+// survives noisy CI runners where wall-clock deltas drown in jitter.
+// Compare with
+//
+//	go test -bench=ThresholdPruning -run=^$ -count=5 | benchstat
+func BenchmarkThresholdPruning(b *testing.B) {
+	m := benchModel(b, "kdd-nomad-50") // the registry's heaviest norm skew
+	const k = 10
+	const shards = 4
+	for _, solver := range []string{"LEMP", "MAXIMUS"} {
+		for _, mode := range []string{"blind", "seeded"} {
+			b.Run(fmt.Sprintf("%s/S=%d/%s", solver, shards, mode), func(b *testing.B) {
+				solver := solver
+				s := shard.New(shard.Config{
+					Shards:              shards,
+					Partitioner:         shard.ByNorm(),
+					Factory:             func() mips.Solver { return benchSolver(solver) },
+					DisableFloorSeeding: mode == "blind",
+				})
+				if err := s.Build(m.Users, m.Items); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.QueryAll(k); err != nil { // warm tuning caches (LEMP)
+					b.Fatal(err)
+				}
+				s.ResetScanStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.QueryAll(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				var tail int64
+				for si, st := range s.ShardScanStats() {
+					if si > 0 {
+						tail += st.Scanned
+					}
+				}
+				users := float64(m.Users.Rows()) * float64(b.N)
+				b.ReportMetric(users/b.Elapsed().Seconds(), "users/s")
+				b.ReportMetric(float64(tail)/users, "tail-scan/user")
+			})
+		}
+	}
+}
+
 // BenchmarkFig7 — cost of one OPTIMUS measurement pass (build + sample +
 // decide) at the sample ratios the estimator sweep uses.
 func BenchmarkFig7(b *testing.B) {

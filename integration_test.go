@@ -34,6 +34,19 @@ func allSolvers() []Solver {
 			Partitioner: ShardByNorm(),
 			Factory:     func() Solver { return NewMaximus(MaximusConfig{Seed: 9}) },
 		}),
+		// Two-wave threshold propagation (ByNorm + floor-capable sub-solver)
+		// and its single-wave lesion must both agree with everything else.
+		NewSharded(ShardedConfig{
+			Shards:      3,
+			Partitioner: ShardByNorm(),
+			Factory:     func() Solver { return NewLEMP(LEMPConfig{Seed: 9}) },
+		}),
+		NewSharded(ShardedConfig{
+			Shards:              3,
+			Partitioner:         ShardByNorm(),
+			DisableFloorSeeding: true,
+			Factory:             func() Solver { return NewLEMP(LEMPConfig{Seed: 9}) },
+		}),
 	}
 }
 

@@ -5,21 +5,28 @@ import (
 	"time"
 
 	"optimus/internal/core"
+	"optimus/internal/dataset"
+	"optimus/internal/lemp"
 	"optimus/internal/mips"
 	"optimus/internal/shard"
 	"optimus/internal/topk"
 )
 
 // Sharding sweeps the shard count S of the item-sharded execution layer
-// over a BMM-regime and an index-regime model: build and query time per S,
-// speedup over the unsharded baseline, and (when verification is on) an
-// entry-level identity check against the unsharded results — a divergence
-// is an error, like every other -verify failure in the harness. A second
-// section runs the per-shard OPTIMUS planner over a norm-sorted partition
-// and reports which strategy each shard received.
+// over a BMM-regime model and two norm-skewed index-regime models: build
+// and query time per S, speedup over the unsharded baseline, and (when
+// verification is on) an entry-level identity check against the unsharded
+// results — a divergence is an error, like every other -verify failure in
+// the harness. A second section runs the per-shard OPTIMUS planner over a
+// norm-sorted partition and reports which strategy each shard received. A
+// third measures cross-shard threshold propagation: the two-wave
+// floor-seeded query against the blind fan-out, with candidates scanned
+// per wave as the deterministic headline metric (expect large tail cuts on
+// the norm-skewed models and ~0% on the flat netflix-nomad regime — floors
+// cannot prune what norms cannot bound).
 func (r *Runner) Sharding() error {
 	r.printf("== Sharding: item-sharded execution, shard-count sweep (K=10) ==\n")
-	for _, name := range r.modelsOrDefault([]string{"netflix-nomad-50", "r2-nomad-50"}) {
+	for _, name := range r.modelsOrDefault([]string{"netflix-nomad-50", "r2-nomad-50", "kdd-nomad-50"}) {
 		m, err := r.generate(name)
 		if err != nil {
 			return err
@@ -81,7 +88,87 @@ func (r *Runner) Sharding() error {
 			r.printf(" shard%d=%s(%d items)", si, p.Solver, p.Items)
 		}
 		r.printf("\n\n")
+
+		if err := r.thresholdPropagation(m); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// thresholdPropagation measures the two-wave floor-seeded query against the
+// blind single-wave fan-out over the by-norm partition, for the two pruning
+// sub-solvers. The headline column is candidates scanned per wave — a
+// deterministic counter (identical at every thread count, decided by the
+// data alone), so the pruning win stays visible on a noisy 1-CPU container
+// where wall-clock comparisons drown in scheduler jitter. Wave 1 is the
+// head shard; wave 2 is the tail fan-out, where floors fire.
+func (r *Runner) thresholdPropagation(m *dataset.Model) error {
+	const k = 10
+	r.printf("  cross-shard threshold propagation (by-norm, K=%d): candidates scanned per wave\n", k)
+	r.printf("  %-10s %4s %8s %12s %12s %12s %10s %9s\n",
+		"solver", "S", "floors", "wave1-scan", "wave2-scan", "total-scan", "tail-cut", "query")
+	for _, sub := range []string{"LEMP", "MAXIMUS"} {
+		factory := func() mips.Solver {
+			if sub == "LEMP" {
+				return lemp.New(lemp.Config{Threads: r.opt.Threads, Seed: r.opt.Seed + 11})
+			}
+			return core.NewMaximus(core.MaximusConfig{Threads: r.opt.Threads, Seed: r.opt.Seed + 7})
+		}
+		for _, shards := range []int{2, 4, 8} {
+			var blindTail int64
+			var blindRes [][]topk.Entry
+			for _, disable := range []bool{true, false} {
+				sh := shard.New(shard.Config{
+					Shards:              shards,
+					Partitioner:         shard.ByNorm(),
+					Threads:             r.opt.Threads,
+					Factory:             factory,
+					DisableFloorSeeding: disable,
+				})
+				tm, res, err := r.measureResults(sh, m, k)
+				if err != nil {
+					return err
+				}
+				if r.opt.Verify {
+					if disable {
+						blindRes = res
+					} else {
+						// Floors must not change a single entry vs the blind
+						// fan-out measured just above.
+						for u := range blindRes {
+							if !sameItems(blindRes[u], res[u]) {
+								return fmt.Errorf("threshold propagation %s S=%d: user %d diverges (%v vs %v)",
+									sub, shards, u, res[u], blindRes[u])
+							}
+						}
+					}
+				}
+				stats := sh.ShardScanStats()
+				var head, tail int64
+				for si, st := range stats {
+					if si == 0 {
+						head = st.Scanned
+					} else {
+						tail += st.Scanned
+					}
+				}
+				mode := "off"
+				cut := "-"
+				if disable {
+					blindTail = tail
+				} else {
+					mode = "on"
+					if blindTail > 0 {
+						cut = fmt.Sprintf("%.1f%%", 100*(1-float64(tail)/float64(blindTail)))
+					}
+				}
+				r.printf("  %-10s %4d %8s %12d %12d %12d %10s %7sms\n",
+					sub, shards, mode, head, tail, head+tail, cut, ms(tm.Query))
+			}
+		}
+	}
+	r.printf("\n")
 	return nil
 }
 

@@ -24,6 +24,7 @@ package conetree
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"optimus/internal/blas"
@@ -68,6 +69,10 @@ type Index struct {
 	ids       []int // reordered position -> original item id
 	dirs      *mat.Matrix
 	root      *node
+
+	// scanned counts leaf-item evaluations across queries
+	// (mips.ScanCounter); items in pruned subtrees are never scanned.
+	scanned atomic.Int64
 
 	buildTime time.Duration
 }
@@ -143,9 +148,17 @@ func (x *Index) Build(users, items *mat.Matrix) error {
 		}
 	}
 	x.root = x.build(0, n)
+	x.scanned.Store(0)
 	x.buildTime = time.Since(start)
 	return nil
 }
+
+// ScanStats implements mips.ScanCounter: inner products computed at visited
+// leaves.
+func (x *Index) ScanStats() mips.ScanStats { return mips.ScanStats{Scanned: x.scanned.Load()} }
+
+// ResetScanStats implements mips.ScanCounter.
+func (x *Index) ResetScanStats() { x.scanned.Store(0) }
 
 // build constructs the subtree over reordered positions [lo, hi).
 func (x *Index) build(lo, hi int) *node {
@@ -257,6 +270,22 @@ func bound(n *node, u []float64, unorm float64) float64 {
 
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
+	return x.query(userIDs, k, nil)
+}
+
+// QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
+// seeded with its floor, so the branch-and-bound descent compares node
+// bounds against the floor from the root down — a whole subtree whose bound
+// trails the floor is pruned before a single inner product. Results honor
+// the floor contract (see mips.ThresholdQuerier).
+func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloors(userIDs, floors); err != nil {
+		return nil, err
+	}
+	return x.query(userIDs, k, floors)
+}
+
+func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
 	if x.root == nil {
 		return nil, fmt.Errorf("conetree: Query before Build")
 	}
@@ -265,16 +294,22 @@ func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 	}
 	out := make([][]topk.Entry, len(userIDs))
 	run := func(lo, hi int) error {
+		var scanned int64
 		for qi := lo; qi < hi; qi++ {
 			u := userIDs[qi]
 			if u < 0 || u >= x.users.Rows() {
 				return fmt.Errorf("conetree: user id %d out of range [0,%d)", u, x.users.Rows())
 			}
 			urow := x.users.Row(u)
-			h := topk.New(k)
-			x.search(x.root, urow, mat.Norm(urow), h)
+			floor := math.Inf(-1)
+			if floors != nil {
+				floor = floors[qi]
+			}
+			h := topk.NewSeeded(k, floor)
+			x.search(x.root, urow, mat.Norm(urow), h, &scanned)
 			out[qi] = h.Sorted()
 		}
+		x.scanned.Add(scanned)
 		return nil
 	}
 	if err := parallel.ForErrThreads(x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
@@ -293,9 +328,12 @@ func (x *Index) QueryAll(k int) ([][]topk.Entry, error) {
 
 // search is the branch-and-bound descent: children are visited best-bound
 // first and pruned against the heap threshold (with the repository's
-// floating-point guard band).
-func (x *Index) search(n *node, u []float64, unorm float64, h *topk.Heap) {
+// floating-point guard band). A seeded heap reports its floor as the
+// threshold before it fills, so a floored query prunes from the first
+// descent. scanned accumulates leaf-item evaluations.
+func (x *Index) search(n *node, u []float64, unorm float64, h *topk.Heap, scanned *int64) {
 	if n.left == nil {
+		*scanned += int64(n.hi - n.lo)
 		for s := n.lo; s < n.hi; s++ {
 			h.Push(x.ids[s], blas.Dot(u, x.reordered.Row(s)))
 		}
@@ -309,11 +347,11 @@ func (x *Index) search(n *node, u []float64, unorm float64, h *topk.Heap) {
 		first, second = n.right, n.left
 		bFirst, bSecond = br, bl
 	}
-	if thr, full := h.Threshold(); !full || bFirst >= thr-slack(thr) {
-		x.search(first, u, unorm, h)
+	if thr, ok := h.Threshold(); !ok || bFirst >= thr-slack(thr) {
+		x.search(first, u, unorm, h, scanned)
 	}
-	if thr, full := h.Threshold(); !full || bSecond >= thr-slack(thr) {
-		x.search(second, u, unorm, h)
+	if thr, ok := h.Threshold(); !ok || bSecond >= thr-slack(thr) {
+		x.search(second, u, unorm, h, scanned)
 	}
 }
 

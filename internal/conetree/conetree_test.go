@@ -249,3 +249,65 @@ func minInt(a, b int) int {
 	}
 	return b
 }
+
+func TestQueryWithFloorsContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	users, items := testModel(rng, 30, 400, 8)
+	x := New(Config{LeafSize: 8})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	ids := mips.AllUserIDs(users.Rows())
+	want, err := x.Query(ids, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindScanned := x.ScanStats().Scanned
+	floors := make([]float64, len(ids))
+	for i := range floors {
+		switch i % 4 {
+		case 0:
+			floors[i] = math.Inf(-1)
+		case 1:
+			floors[i] = want[i][k-1].Score // exact tie at the k-th score
+		case 2:
+			floors[i] = want[i][0].Score
+		default:
+			floors[i] = want[i][0].Score + 1
+		}
+	}
+	got, err := x.QueryWithFloors(ids, k, floors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyFloorPrefix(want, got, floors); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.QueryWithFloors(ids, k, floors[:1]); err == nil {
+		t.Fatal("floor/user length mismatch must fail")
+	}
+
+	// Cross-shard-style floors (above the local k-th) must cut subtree
+	// visits, deterministically across thread counts.
+	high := make([]float64, len(ids))
+	for i := range high {
+		high[i] = want[i][0].Score
+	}
+	x.ResetScanStats()
+	if _, err := x.QueryWithFloors(ids, k, high); err != nil {
+		t.Fatal(err)
+	}
+	seededScanned := x.ScanStats().Scanned
+	if seededScanned >= blindScanned {
+		t.Fatalf("seeded scan count %d, want < blind %d", seededScanned, blindScanned)
+	}
+	x.SetThreads(3)
+	x.ResetScanStats()
+	if _, err := x.QueryWithFloors(ids, k, high); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.ScanStats().Scanned; got != seededScanned {
+		t.Fatalf("scan count %d at 3 threads, %d at 1 — must be identical", got, seededScanned)
+	}
+}

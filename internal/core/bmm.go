@@ -5,6 +5,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"optimus/internal/blas"
@@ -42,6 +43,12 @@ type BMM struct {
 	cfg   BMMConfig
 	users *mat.Matrix
 	items *mat.Matrix
+
+	// scanned counts score evaluations (mips.ScanCounter). BMM scores every
+	// (query, item) pair by construction — floors thin the harvest, not the
+	// GEMM — so the count is queries × items and floors never reduce it;
+	// that contrast against the pruning solvers is the honest accounting.
+	scanned atomic.Int64
 }
 
 // BMMStats reports where a query's time went, for the offline cost model
@@ -97,8 +104,15 @@ func (b *BMM) Build(users, items *mat.Matrix) error {
 		return err
 	}
 	b.users, b.items = users, items
+	b.scanned.Store(0)
 	return nil
 }
+
+// ScanStats implements mips.ScanCounter (see the scanned field comment).
+func (b *BMM) ScanStats() mips.ScanStats { return mips.ScanStats{Scanned: b.scanned.Load()} }
+
+// ResetScanStats implements mips.ScanCounter.
+func (b *BMM) ResetScanStats() { b.scanned.Store(0) }
 
 // Query implements mips.Solver.
 func (b *BMM) Query(userIDs []int, k int) ([][]topk.Entry, error) {
@@ -106,8 +120,26 @@ func (b *BMM) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 	return res, err
 }
 
+// QueryWithFloors implements mips.ThresholdQuerier. BMM cannot skip any
+// inner products — the GEMM is monolithic — but the harvest becomes
+// floor-aware: each row's heap is seeded, so below-floor scores never enter
+// it, sift work collapses on heavily floored rows, and a row whose every
+// score trails its floor allocates nothing. Results honor the floor
+// contract (see mips.ThresholdQuerier).
+func (b *BMM) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloors(userIDs, floors); err != nil {
+		return nil, err
+	}
+	res, _, err := b.queryStats(userIDs, k, floors)
+	return res, err
+}
+
 // QueryStats is Query with a stage-time breakdown.
 func (b *BMM) QueryStats(userIDs []int, k int) ([][]topk.Entry, BMMStats, error) {
+	return b.queryStats(userIDs, k, nil)
+}
+
+func (b *BMM) queryStats(userIDs []int, k int, floors []float64) ([][]topk.Entry, BMMStats, error) {
 	var st BMMStats
 	if b.users == nil {
 		return nil, st, fmt.Errorf("core: BMM Query before Build")
@@ -122,7 +154,7 @@ func (b *BMM) QueryStats(userIDs []int, k int) ([][]topk.Entry, BMMStats, error)
 	}
 	selected := b.users.SelectRows(userIDs)
 	out := make([][]topk.Entry, len(userIDs))
-	err := b.process(selected, out, k, &st)
+	err := b.process(selected, out, k, floors, &st)
 	return out, st, err
 }
 
@@ -137,12 +169,13 @@ func (b *BMM) QueryAll(k int) ([][]topk.Entry, error) {
 	}
 	out := make([][]topk.Entry, b.users.Rows())
 	var st BMMStats
-	return out, b.process(b.users, out, k, &st)
+	return out, b.process(b.users, out, k, nil, &st)
 }
 
 // process scores the rows of `queries` against all items slab-by-slab,
-// harvesting top-k rows into out.
-func (b *BMM) process(queries *mat.Matrix, out [][]topk.Entry, k int, st *BMMStats) error {
+// harvesting top-k rows into out. floors, when non-nil, is aligned with the
+// query rows and seeds each row's harvest heap.
+func (b *BMM) process(queries *mat.Matrix, out [][]topk.Entry, k int, floors []float64, st *BMMStats) error {
 	m := queries.Rows()
 	n := b.items.Rows()
 	slabRows := b.cfg.SlabBytes / (8 * n)
@@ -163,17 +196,29 @@ func (b *BMM) process(queries *mat.Matrix, out [][]topk.Entry, k int, st *BMMSta
 		blas.GemmNTParallel(queries.RowSlice(lo, hi), b.items, slab, b.cfg.Threads)
 		t1 := time.Now()
 		st.GemmTime += t1.Sub(t0)
-		harvest(slab, out[lo:hi], k, b.cfg.Threads)
+		var slabFloors []float64
+		if floors != nil {
+			slabFloors = floors[lo:hi]
+		}
+		harvest(slab, out[lo:hi], slabFloors, k, b.cfg.Threads)
 		st.HarvestTime += time.Since(t1)
 	}
+	b.scanned.Add(int64(m) * int64(n))
 	return nil
 }
 
-// harvest extracts top-k from every row of a scores slab, in parallel.
-func harvest(scores *mat.Matrix, out [][]topk.Entry, k, threads int) {
+// harvest extracts top-k from every row of a scores slab, in parallel. One
+// heap is reused per worker chunk (topk.SelectRowInto) instead of allocated
+// per row — the GC-churn fix for the BMM hot loop. floors, when non-nil,
+// seeds the heap per row.
+func harvest(scores *mat.Matrix, out [][]topk.Entry, floors []float64, k, threads int) {
 	parallel.ForThreads(threads, scores.Rows(), queryGrain, func(lo, hi int) {
+		h := topk.New(k)
 		for r := lo; r < hi; r++ {
-			out[r] = topk.SelectRow(scores.Row(r), 0, k)
+			if floors != nil {
+				h.SetFloor(floors[r])
+			}
+			out[r] = topk.SelectRowInto(h, scores.Row(r), 0)
 		}
 	})
 }

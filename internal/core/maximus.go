@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"optimus/internal/blas"
@@ -106,6 +107,10 @@ type Maximus struct {
 	// the shared block multiply in QueryAll needs no per-call row copies.
 	memberVecs []*mat.Matrix
 
+	// scanned accumulates ItemsVisited across queries (mips.ScanCounter):
+	// list positions scored, blocked prefix included.
+	scanned atomic.Int64
+
 	timings MaximusTimings
 }
 
@@ -199,8 +204,16 @@ func (m *Maximus) Build(users, items *mat.Matrix) error {
 	t2 := time.Now()
 	m.estimateBlocks()
 	m.timings.CostEstimation = time.Since(t2)
+	m.scanned.Store(0)
 	return nil
 }
+
+// ScanStats implements mips.ScanCounter: list positions scored across
+// queries, shared blocked prefixes included (they are GEMM-scored work).
+func (m *Maximus) ScanStats() mips.ScanStats { return mips.ScanStats{Scanned: m.scanned.Load()} }
+
+// ResetScanStats implements mips.ScanCounter.
+func (m *Maximus) ResetScanStats() { m.scanned.Store(0) }
 
 func (m *Maximus) clusterUsers() error {
 	nUsers := m.users.Rows()
@@ -424,8 +437,26 @@ func (m *Maximus) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 	return res, err
 }
 
+// QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
+// seeded with its floor, so the sorted-bound walk terminates as soon as the
+// Equation 3 bound trails the floor — before the heap fills, often right
+// after the shared blocked prefix (whose pushes the floor filters but whose
+// GEMM still runs: block sizes are fixed at Build). Results honor the floor
+// contract (see mips.ThresholdQuerier).
+func (m *Maximus) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloors(userIDs, floors); err != nil {
+		return nil, err
+	}
+	res, _, err := m.queryStats(userIDs, k, floors)
+	return res, err
+}
+
 // QueryStats is Query with traversal instrumentation.
 func (m *Maximus) QueryStats(userIDs []int, k int) ([][]topk.Entry, MaximusQueryStats, error) {
+	return m.queryStats(userIDs, k, nil)
+}
+
+func (m *Maximus) queryStats(userIDs []int, k int, floors []float64) ([][]topk.Entry, MaximusQueryStats, error) {
 	var st MaximusQueryStats
 	if m.lists == nil {
 		return nil, st, fmt.Errorf("core: MAXIMUS Query before Build")
@@ -451,7 +482,7 @@ func (m *Maximus) QueryStats(userIDs []int, k int) ([][]topk.Entry, MaximusQuery
 		if len(byCluster[c]) == 0 {
 			continue
 		}
-		bt, v := m.queryCluster(c, byCluster[c], userIDs, k, out)
+		bt, v := m.queryCluster(c, byCluster[c], userIDs, k, floors, out)
 		blockNanos += bt
 		visited[c] = v
 	}
@@ -460,12 +491,14 @@ func (m *Maximus) QueryStats(userIDs []int, k int) ([][]topk.Entry, MaximusQuery
 	for _, v := range visited {
 		st.ItemsVisited += v
 	}
+	m.scanned.Add(st.ItemsVisited)
 	return out, st, nil
 }
 
-// queryCluster answers all queried users of one cluster. Returns block-GEMM
-// nanoseconds and total list positions visited.
-func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, out [][]topk.Entry) (int64, int64) {
+// queryCluster answers all queried users of one cluster; floors, when
+// non-nil, is aligned with userIDs. Returns block-GEMM nanoseconds and total
+// list positions visited.
+func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, floors []float64, out [][]topk.Entry) (int64, int64) {
 	list := m.lists[c]
 	bounds := m.bounds[c]
 	nItems := len(list)
@@ -499,7 +532,11 @@ func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, out 
 			u := userIDs[qi]
 			urow := m.users.Row(u)
 			unorm := m.userNorm[u]
-			h := topk.New(k)
+			floor := math.Inf(-1)
+			if floors != nil {
+				floor = floors[qi]
+			}
+			h := topk.NewSeeded(k, floor)
 			start := 0
 			if blockLen > 0 {
 				// Harvest the blocked prefix.
@@ -523,9 +560,10 @@ func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, out 
 				perUser[r] = int64(seed)
 			}
 			// Walk the remainder; terminate when the sorted bound proves no
-			// later entry can displace the heap minimum.
+			// later entry can displace the heap minimum (or beat the floor:
+			// a seeded heap reports its floor before it fills).
 			for pos := start; pos < nItems; pos++ {
-				if thr, full := h.Threshold(); full && bounds[pos]*unorm < thr-slack(thr) {
+				if thr, ok := h.Threshold(); ok && bounds[pos]*unorm < thr-slack(thr) {
 					break
 				}
 				perUser[r]++

@@ -461,3 +461,110 @@ func TestMaximusAdaptiveBlockTracksWalkLength(t *testing.T) {
 			prunable, unprunable)
 	}
 }
+
+func TestMaximusQueryWithFloorsContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	users, items := testModel(rng, 64, 500, 8)
+	m := NewMaximus(MaximusConfig{Seed: 4})
+	if err := m.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	ids := mips.AllUserIDs(users.Rows())
+	want, err := m.Query(ids, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindScanned := m.ScanStats().Scanned
+	floors := make([]float64, len(ids))
+	for i := range floors {
+		switch i % 4 {
+		case 0:
+			floors[i] = math.Inf(-1)
+		case 1:
+			floors[i] = want[i][k-1].Score // exact tie at the k-th score
+		case 2:
+			floors[i] = want[i][0].Score
+		default:
+			floors[i] = want[i][0].Score + 1
+		}
+	}
+	got, err := m.QueryWithFloors(ids, k, floors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyFloorPrefix(want, got, floors); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.QueryWithFloors(ids, k, floors[:3]); err == nil {
+		t.Fatal("floor/user length mismatch must fail")
+	}
+
+	// Cross-shard-style floors must shorten the sorted-bound walks. The
+	// shared blocked prefix is sized at Build and stays scanned, so the
+	// reduction shows in the post-block walk.
+	high := make([]float64, len(ids))
+	for i := range high {
+		high[i] = want[i][0].Score
+	}
+	m.ResetScanStats()
+	if _, err := m.QueryWithFloors(ids, k, high); err != nil {
+		t.Fatal(err)
+	}
+	seededScanned := m.ScanStats().Scanned
+	if seededScanned >= blindScanned {
+		t.Fatalf("seeded scan count %d, want < blind %d", seededScanned, blindScanned)
+	}
+}
+
+func TestBMMQueryWithFloorsContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	users, items := testModel(rng, 40, 300, 8)
+	b := NewBMM(BMMConfig{})
+	if err := b.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	const k = 6
+	ids := mips.AllUserIDs(users.Rows())
+	want, err := b.Query(ids, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindScanned := b.ScanStats().Scanned
+	if wantScan := int64(len(ids)) * int64(items.Rows()); blindScanned != wantScan {
+		t.Fatalf("BMM scanned %d, want exhaustive %d", blindScanned, wantScan)
+	}
+	floors := make([]float64, len(ids))
+	for i := range floors {
+		switch i % 4 {
+		case 0:
+			floors[i] = math.Inf(-1)
+		case 1:
+			floors[i] = want[i][k-1].Score // exact tie at the k-th score
+		case 2:
+			floors[i] = want[i][0].Score
+		default:
+			floors[i] = want[i][0].Score + 1 // whole row floored: nil result row
+		}
+	}
+	b.ResetScanStats()
+	got, err := b.QueryWithFloors(ids, k, floors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyFloorPrefix(want, got, floors); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if i%4 == 3 && len(got[i]) != 0 {
+			t.Fatalf("row %d floored above its best score must be empty, got %+v", i, got[i])
+		}
+	}
+	// BMM scores every pair regardless of floors — the honest accounting.
+	if got := b.ScanStats().Scanned; got != blindScanned {
+		t.Fatalf("BMM floored scanned %d, want unchanged %d", got, blindScanned)
+	}
+	if _, err := b.QueryWithFloors(ids, k, floors[:2]); err == nil {
+		t.Fatal("floor/user length mismatch must fail")
+	}
+}

@@ -69,6 +69,36 @@ type Estimate struct {
 	// EarlyStopped reports whether the incremental t-test cut measurement
 	// short.
 	EarlyStopped bool
+	// Synthesized reports the estimate was derived from a shared baseline
+	// rate (MeasureShared) instead of a fresh sample query.
+	Synthesized bool
+}
+
+// SharedMeasurement carries the measurement state reusable across related
+// OPTIMUS runs — the amortization the per-shard planner applies. Two costs
+// repeat identically (or near-identically) when the same user population is
+// planned shard after shard: drawing the user sample, and measuring the BMM
+// baseline. The sample depends only on (seed, |U|), so it is cached
+// verbatim; BMM's sampled throughput is a dense GEMM whose per-(user·item)
+// rate is item-set independent to first order, so one fresh measurement
+// yields a rate that later runs scale by their own item count instead of
+// re-querying. (The harvest portion varies mildly with k and score skew;
+// this is a planning estimate, traded exactly like the paper trades sample
+// size against decision accuracy in §IV-A.)
+//
+// The zero value means "nothing cached yet"; MeasureShared fills it on the
+// first run and reuses it afterwards. A user-count change invalidates the
+// cache; so must any change to measurement conditions the rate bakes in —
+// the planner resets it on SetThreads. Not safe for concurrent use.
+type SharedMeasurement struct {
+	// Users is the user-row count the cache was built for; a mismatch
+	// invalidates it.
+	Users int
+	// SampleIDs is the reusable user sample.
+	SampleIDs []int
+	// BMMSecondsPerUserItem is BMM's measured sample throughput, sample
+	// seconds / (examined users × items); > 0 enables baseline reuse.
+	BMMSecondsPerUserItem float64
 }
 
 // Decision is the outcome of one OPTIMUS run.
@@ -163,7 +193,7 @@ func (o *Optimus) Run(users, items *mat.Matrix, k int) (*Decision, [][]topk.Entr
 	if err := mips.ValidateK(k, items.Rows()); err != nil {
 		return nil, nil, err
 	}
-	dec, sampleIDs, sampleResults, err := o.measure(users, items, k)
+	dec, sampleIDs, sampleResults, err := o.measure(users, items, k, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -204,13 +234,27 @@ func (o *Optimus) Run(users, items *mat.Matrix, k int) (*Decision, [][]topk.Entr
 // Measure runs index construction and sampled measurement only — the Fig 7
 // experiment and Table II's overhead accounting use this entry point.
 func (o *Optimus) Measure(users, items *mat.Matrix, k int) (*Decision, error) {
+	return o.MeasureShared(users, items, k, nil)
+}
+
+// MeasureShared is Measure with cross-run amortization: a non-nil shared
+// cache substitutes the stored user sample and BMM baseline rate for fresh
+// measurement (and is filled by the first run that finds it empty or
+// stale). The per-shard planner passes one cache across all its shards,
+// cutting plan time roughly in half — BMM's sample query was the one
+// measurement repeated identically per shard. A decision whose BMM arm came
+// from the cache reports Synthesized on that estimate. Unlike Run, the
+// shared path never reuses BMM sampled results (there are none); callers
+// querying the winner afterwards pay its full pass, which is what the
+// planner does anyway.
+func (o *Optimus) MeasureShared(users, items *mat.Matrix, k int, shared *SharedMeasurement) (*Decision, error) {
 	if err := mips.ValidateInputs(users, items); err != nil {
 		return nil, err
 	}
 	if err := mips.ValidateK(k, items.Rows()); err != nil {
 		return nil, err
 	}
-	dec, _, _, err := o.measure(users, items, k)
+	dec, _, _, err := o.measure(users, items, k, shared)
 	return dec, err
 }
 
@@ -233,12 +277,25 @@ func (o *Optimus) solverByName(name string) mips.Solver {
 }
 
 // measure builds all candidates, samples users, and produces the decision
-// plus the per-strategy sampled results for reuse.
-func (o *Optimus) measure(users, items *mat.Matrix, k int) (*Decision, []int, map[string][][]topk.Entry, error) {
+// plus the per-strategy sampled results for reuse. A non-nil shared cache
+// is consulted for the sample and the BMM baseline, and refreshed when
+// empty or stale (see SharedMeasurement).
+func (o *Optimus) measure(users, items *mat.Matrix, k int, shared *SharedMeasurement) (*Decision, []int, map[string][][]topk.Entry, error) {
 	n := users.Rows()
 	sampleSize := o.SampleSize(n, users.Cols())
-	rng := rand.New(rand.NewSource(o.cfg.Seed))
-	sampleIDs := stats.SampleWithoutReplacement(rng, n, sampleSize)
+	if shared != nil && shared.Users != n {
+		*shared = SharedMeasurement{Users: n}
+	}
+	var sampleIDs []int
+	if shared != nil && len(shared.SampleIDs) == sampleSize {
+		sampleIDs = shared.SampleIDs
+	} else {
+		rng := rand.New(rand.NewSource(o.cfg.Seed))
+		sampleIDs = stats.SampleWithoutReplacement(rng, n, sampleSize)
+		if shared != nil {
+			shared.SampleIDs = sampleIDs
+		}
+	}
 
 	// Align every candidate to the run's parallelism before any clock
 	// starts: the sampled measurements are extrapolated to the full batch,
@@ -263,26 +320,41 @@ func (o *Optimus) measure(users, items *mat.Matrix, k int) (*Decision, []int, ma
 
 	sampleResults := make(map[string][][]topk.Entry, 1+len(o.indexes))
 
-	// BMM on the whole sample (it must batch to show hardware effects).
-	t0 := time.Now()
-	bmmRes, err := o.bmm.Query(sampleIDs, k)
-	if err != nil {
-		return nil, nil, nil, err
+	// BMM on the whole sample (it must batch to show hardware effects) — or,
+	// with a warm shared cache, its estimate synthesized from the stored
+	// per-(user·item) rate scaled to this run's item count.
+	var bmmSample time.Duration
+	synthesized := shared != nil && shared.BMMSecondsPerUserItem > 0
+	if synthesized {
+		bmmSample = time.Duration(shared.BMMSecondsPerUserItem *
+			float64(sampleSize) * float64(items.Rows()) * float64(time.Second))
+	} else {
+		t0 := time.Now()
+		bmmRes, err := o.bmm.Query(sampleIDs, k)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		bmmSample = time.Since(t0)
+		sampleResults[o.bmm.Name()] = bmmRes
+		if shared != nil {
+			shared.BMMSecondsPerUserItem = bmmSample.Seconds() /
+				(float64(sampleSize) * float64(items.Rows()))
+		}
 	}
-	bmmSample := time.Since(t0)
-	sampleResults[o.bmm.Name()] = bmmRes
 	bmmPerUser := bmmSample.Seconds() / float64(sampleSize)
 
 	estimates := []Estimate{{
-		Solver:     o.bmm.Name(),
-		SampleTime: bmmSample,
-		Examined:   sampleSize,
-		Total:      time.Duration(stats.Extrapolate(bmmSample.Seconds(), sampleSize, n) * float64(time.Second)),
+		Solver:      o.bmm.Name(),
+		SampleTime:  bmmSample,
+		Examined:    sampleSize,
+		Total:       time.Duration(stats.Extrapolate(bmmSample.Seconds(), sampleSize, n) * float64(time.Second)),
+		Synthesized: synthesized,
 	}}
 
 	for i, idx := range o.indexes {
 		est := Estimate{Solver: idx.Name(), BuildTime: buildTimes[i]}
 		var res [][]topk.Entry
+		var err error
 		if idx.Batches() {
 			// Batch indexes amortize across users; per-user times are not
 			// i.i.d., so measure the whole sample at once (§IV-A).

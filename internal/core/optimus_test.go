@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"optimus/internal/fexipro"
 	"optimus/internal/lemp"
@@ -283,5 +284,79 @@ func TestOptimusDeterministicDecision(t *testing.T) {
 		if dec.Winner != "MAXIMUS" {
 			t.Fatalf("trial %d: winner %s", trial, dec.Winner)
 		}
+	}
+}
+
+// TestMeasureSharedReusesBaseline pins the planner amortization contract:
+// one SharedMeasurement threaded through consecutive measurements over the
+// same user population keeps the user sample stable and replaces the second
+// run's BMM sample query with a rate-synthesized estimate, while a
+// user-population change invalidates the cache.
+func TestMeasureSharedReusesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	users, items := testModel(rng, 200, 300, 8)
+	_, itemsB := testModel(rng, 2, 150, 8)
+
+	var shared SharedMeasurement
+	opt := NewOptimus(OptimusConfig{SampleFraction: 0.1, L2CacheBytes: 1, Seed: 3},
+		NewMaximus(MaximusConfig{Seed: 3}))
+	dec1, err := opt.MeasureShared(users, items, 5, &shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bmm1, _ := dec1.EstimateFor("BMM")
+	if bmm1.Synthesized {
+		t.Fatal("first measurement must be fresh")
+	}
+	if shared.BMMSecondsPerUserItem <= 0 || shared.Users != users.Rows() || len(shared.SampleIDs) == 0 {
+		t.Fatalf("cache not filled: %+v", shared)
+	}
+	cachedIDs := append([]int(nil), shared.SampleIDs...)
+	cachedRate := shared.BMMSecondsPerUserItem
+
+	// Second measurement, different item set (a different shard): sample
+	// reused, BMM synthesized from the cached rate scaled by item count.
+	opt2 := NewOptimus(OptimusConfig{SampleFraction: 0.1, L2CacheBytes: 1, Seed: 3},
+		NewMaximus(MaximusConfig{Seed: 3}))
+	dec2, err := opt2.MeasureShared(users, itemsB, 5, &shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bmm2, _ := dec2.EstimateFor("BMM")
+	if !bmm2.Synthesized {
+		t.Fatal("second measurement must synthesize BMM from the cached rate")
+	}
+	wantSample := time.Duration(cachedRate * float64(len(cachedIDs)) * float64(itemsB.Rows()) * float64(time.Second))
+	if bmm2.SampleTime != wantSample {
+		t.Fatalf("synthesized SampleTime %v, want rate-scaled %v", bmm2.SampleTime, wantSample)
+	}
+	for i, id := range shared.SampleIDs {
+		if id != cachedIDs[i] {
+			t.Fatal("sample must be reused verbatim")
+		}
+	}
+	// The winner is built and queryable regardless of synthesis.
+	res, err := opt2.Solver(dec2.Winner).QueryAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyAll(users, itemsB, res, 3, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different user population invalidates the cache.
+	moreUsers, itemsC := testModel(rng, 150, 200, 8)
+	opt3 := NewOptimus(OptimusConfig{SampleFraction: 0.1, L2CacheBytes: 1, Seed: 3},
+		NewMaximus(MaximusConfig{Seed: 3}))
+	dec3, err := opt3.MeasureShared(moreUsers, itemsC, 5, &shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bmm3, _ := dec3.EstimateFor("BMM")
+	if bmm3.Synthesized {
+		t.Fatal("stale cache (user-count change) must trigger a fresh measurement")
+	}
+	if shared.Users != moreUsers.Rows() {
+		t.Fatalf("cache rebuilt for %d users, want %d", shared.Users, moreUsers.Rows())
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"optimus/internal/blas"
@@ -108,6 +109,10 @@ type Index struct {
 
 	mu      sync.Mutex
 	tunings map[int]*tuning
+
+	// scanned counts candidate evaluations across queries (mips.ScanCounter);
+	// tuning-sample walks are measurement overhead and are not counted.
+	scanned atomic.Int64
 
 	buildTime time.Duration
 }
@@ -208,12 +213,36 @@ func (x *Index) Build(users, items *mat.Matrix) error {
 		x.buckets = append(x.buckets, bucket{lo: lo, hi: hi, maxNorm: x.norms[lo]})
 	}
 	x.tunings = make(map[int]*tuning)
+	x.scanned.Store(0)
 	x.buildTime = time.Since(start)
 	return nil
 }
 
+// ScanStats implements mips.ScanCounter: candidates evaluated by the
+// within-bucket retrieval routines (items skipped by the bucket break or the
+// norm/incremental prunes are not counted).
+func (x *Index) ScanStats() mips.ScanStats { return mips.ScanStats{Scanned: x.scanned.Load()} }
+
+// ResetScanStats implements mips.ScanCounter.
+func (x *Index) ResetScanStats() { x.scanned.Store(0) }
+
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
+	return x.query(userIDs, k, nil)
+}
+
+// QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
+// seeded with its floor, so the bucket break and the scanLength/scanIncr
+// prunes fire before the heap fills — on a high floor, often at the very
+// first bucket. Results honor the floor contract (see mips.ThresholdQuerier).
+func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloors(userIDs, floors); err != nil {
+		return nil, err
+	}
+	return x.query(userIDs, k, floors)
+}
+
+func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
 	if x.sorted == nil {
 		return nil, fmt.Errorf("lemp: Query before Build")
 	}
@@ -223,14 +252,20 @@ func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 	tn := x.tuningFor(k)
 	out := make([][]topk.Entry, len(userIDs))
 	run := func(lo, hi int) error {
-		scratch := newScratch(x.sorted.Cols())
+		scratch := newScratch()
 		for qi := lo; qi < hi; qi++ {
 			u := userIDs[qi]
 			if u < 0 || u >= x.users.Rows() {
 				return fmt.Errorf("lemp: user id %d out of range [0,%d)", u, x.users.Rows())
 			}
-			out[qi] = x.queryOne(x.users.Row(u), k, tn, scratch, nil)
+			floor := math.Inf(-1)
+			if floors != nil {
+				floor = floors[qi]
+			}
+			out[qi] = x.queryOne(x.users.Row(u), k, floor, tn, scratch, nil)
 		}
+		x.scanned.Add(scratch.scanned)
+		scratch.scanned = 0
 		return nil
 	}
 	if err := parallel.ForErrThreads(x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
@@ -260,10 +295,11 @@ func (x *Index) ChosenAlgorithms(k int) []Algorithm {
 // scratch holds per-goroutine temporaries reused across users.
 type scratch struct {
 	usuf1, usuf2 float64
+	scanned      int64 // candidates evaluated, flushed per chunk
 	bucketTimes  [][numAlgos]time.Duration
 }
 
-func newScratch(f int) *scratch { return &scratch{} }
+func newScratch() *scratch { return &scratch{} }
 
 // tuningFor returns (building if necessary) the per-bucket algorithm choice
 // for depth k. LEMP's runtime adaptation: each routine is timed on a user
@@ -286,7 +322,7 @@ func (x *Index) tuningFor(k int) *tuning {
 	sample := stats.SampleWithoutReplacement(sampleRng, x.users.Rows(), x.cfg.TuneSample)
 
 	times := make([][numAlgos]time.Duration, len(x.buckets))
-	scr := newScratch(x.sorted.Cols())
+	scr := newScratch()
 	for a := Algorithm(0); a < numAlgos; a++ {
 		forced := &tuning{algos: make([]Algorithm, len(x.buckets))}
 		for b := range forced.algos {
@@ -294,7 +330,7 @@ func (x *Index) tuningFor(k int) *tuning {
 		}
 		scr.bucketTimes = times
 		for _, u := range sample {
-			x.queryOne(x.users.Row(u), k, forced, scr, &a)
+			x.queryOne(x.users.Row(u), k, math.Inf(-1), forced, scr, &a)
 		}
 		scr.bucketTimes = nil
 	}
@@ -311,13 +347,14 @@ func (x *Index) tuningFor(k int) *tuning {
 	return tn
 }
 
-// queryOne answers one user's top-k. If timeAlgo is non-nil, per-bucket
-// elapsed time is accumulated into scratch.bucketTimes[*][*timeAlgo].
-func (x *Index) queryOne(user []float64, k int, tn *tuning, scr *scratch, timeAlgo *Algorithm) []topk.Entry {
+// queryOne answers one user's top-k, pruning against floor (-Inf = none)
+// from the first candidate. If timeAlgo is non-nil, per-bucket elapsed time
+// is accumulated into scratch.bucketTimes[*][*timeAlgo].
+func (x *Index) queryOne(user []float64, k int, floor float64, tn *tuning, scr *scratch, timeAlgo *Algorithm) []topk.Entry {
 	unorm := mat.Norm(user)
 	scr.usuf1 = mat.Norm(user[x.cp1:])
 	scr.usuf2 = mat.Norm(user[x.cp2:])
-	h := topk.New(k)
+	h := topk.NewSeeded(k, floor)
 	for b, bk := range x.buckets {
 		// Pruning must survive two hazards: an exact tie can still enter the
 		// heap via the lower-item-id rule, and the bound itself is computed
@@ -333,11 +370,11 @@ func (x *Index) queryOne(user []float64, k int, tn *tuning, scr *scratch, timeAl
 		}
 		switch tn.algos[b] {
 		case AlgoLength:
-			x.scanLength(user, unorm, bk, h)
+			x.scanLength(user, unorm, bk, h, scr)
 		case AlgoIncr:
 			x.scanIncr(user, unorm, bk, h, scr)
 		default:
-			x.scanNaive(user, bk, h)
+			x.scanNaive(user, bk, h, scr)
 		}
 		if timeAlgo != nil {
 			scr.bucketTimes[b][*timeAlgo] += time.Since(begin)
@@ -347,17 +384,20 @@ func (x *Index) queryOne(user []float64, k int, tn *tuning, scr *scratch, timeAl
 }
 
 // scanLength walks the bucket in norm order pruning on ‖u‖·‖i‖.
-func (x *Index) scanLength(user []float64, unorm float64, bk bucket, h *topk.Heap) {
+func (x *Index) scanLength(user []float64, unorm float64, bk bucket, h *topk.Heap, scr *scratch) {
 	for s := bk.lo; s < bk.hi; s++ {
 		if thr, full := h.Threshold(); full && unorm*x.norms[s] < thr-slack(thr) {
 			return // items are norm-sorted; the rest of the bucket is worse
 		}
+		scr.scanned++
 		h.Push(x.ids[s], blas.Dot(user, x.sorted.Row(s)))
 	}
 }
 
 // scanIncr adds two-checkpoint incremental pruning: a partial inner product
 // over the leading coordinates plus a Cauchy–Schwarz bound on the remainder.
+// Items whose first checkpoint is computed count as scanned even when the
+// tail bound then discards them — the partial product is real work.
 func (x *Index) scanIncr(user []float64, unorm float64, bk bucket, h *topk.Heap, scr *scratch) {
 	u1 := user[:x.cp1]
 	u12 := user[x.cp1:x.cp2]
@@ -368,6 +408,7 @@ func (x *Index) scanIncr(user []float64, unorm float64, bk bucket, h *topk.Heap,
 		if full && unorm*x.norms[s] < thr-sl {
 			return
 		}
+		scr.scanned++
 		row := x.sorted.Row(s)
 		p1 := blas.Dot(u1, row[:x.cp1])
 		if full && p1+scr.usuf1*x.suffix1[s] < thr-sl {
@@ -382,7 +423,8 @@ func (x *Index) scanIncr(user []float64, unorm float64, bk bucket, h *topk.Heap,
 }
 
 // scanNaive computes every inner product in the bucket.
-func (x *Index) scanNaive(user []float64, bk bucket, h *topk.Heap) {
+func (x *Index) scanNaive(user []float64, bk bucket, h *topk.Heap, scr *scratch) {
+	scr.scanned += int64(bk.hi - bk.lo)
 	for s := bk.lo; s < bk.hi; s++ {
 		h.Push(x.ids[s], blas.Dot(user, x.sorted.Row(s)))
 	}

@@ -344,3 +344,157 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// floorsFor builds the mixed floor vector the QueryWithFloors tests use:
+// unseeded, exactly tying the user's k-th (and best) score — the tie-at-floor
+// hazard — and above everything.
+func floorsFor(want [][]topk.Entry, k int) []float64 {
+	floors := make([]float64, len(want))
+	for i := range floors {
+		switch i % 4 {
+		case 0:
+			floors[i] = math.Inf(-1)
+		case 1:
+			floors[i] = want[i][k-1].Score // exact tie at the k-th score
+		case 2:
+			floors[i] = want[i][0].Score // only ties with the best survive
+		default:
+			floors[i] = want[i][0].Score + 1 // everything floored away
+		}
+	}
+	return floors
+}
+
+func TestQueryWithFloorsContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	users, items := testModel(rng, 40, 300, 8)
+	x := New(Config{TuneSample: 0})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	ids := mips.AllUserIDs(users.Rows())
+	want, err := x.Query(ids, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floors := floorsFor(want, k)
+	got, err := x.QueryWithFloors(ids, k, floors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyFloorPrefix(want, got, floors); err != nil {
+		t.Fatal(err)
+	}
+	// All floors at -Inf must reproduce Query exactly.
+	blind := make([]float64, len(ids))
+	for i := range blind {
+		blind[i] = math.Inf(-1)
+	}
+	unseeded, err := x.QueryWithFloors(ids, k, blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if !topk.Equal(want[u], unseeded[u], 0) {
+			t.Fatalf("user %d: -Inf floors diverge from Query", u)
+		}
+	}
+	// Shape and NaN validation.
+	if _, err := x.QueryWithFloors(ids, k, blind[:1]); err == nil {
+		t.Fatal("floor/user length mismatch must fail")
+	}
+	if _, err := x.QueryWithFloors([]int{0}, k, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN floor must fail")
+	}
+}
+
+// TestQueryWithFloorsPrunesScans pins the point of the floor path: a floor
+// above the local k-th score — the two-wave situation, where the head
+// shard's k-th score dwarfs a tail shard's local scores — must strictly
+// reduce the candidates LEMP scans, and the counter must not depend on the
+// thread count. (A floor equal to the local k-th score merely reproduces
+// the threshold the blind walk converges to anyway; the cross-shard floor
+// is what makes pruning fire early.)
+func TestQueryWithFloorsPrunesScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	users, items := testModel(rng, 60, 600, 10)
+	x := New(Config{TuneSample: 0})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	ids := mips.AllUserIDs(users.Rows())
+	want, err := x.Query(ids, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindScanned := x.ScanStats().Scanned
+	if blindScanned <= 0 {
+		t.Fatal("blind query must scan candidates")
+	}
+	floors := make([]float64, len(ids))
+	for i := range floors {
+		floors[i] = want[i][0].Score
+	}
+	x.ResetScanStats()
+	if _, err := x.QueryWithFloors(ids, k, floors); err != nil {
+		t.Fatal(err)
+	}
+	seededScanned := x.ScanStats().Scanned
+	if seededScanned >= blindScanned {
+		t.Fatalf("seeded scan count %d, want < blind %d", seededScanned, blindScanned)
+	}
+	// Determinism across thread counts.
+	x.SetThreads(3)
+	x.ResetScanStats()
+	if _, err := x.QueryWithFloors(ids, k, floors); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.ScanStats().Scanned; got != seededScanned {
+		t.Fatalf("scan count %d at 3 threads, %d at 1 — must be identical", got, seededScanned)
+	}
+}
+
+// TestQueryWithFloorsProperty drives random models and floors drawn from the
+// unseeded results (forcing exact ties at the floor) through the contract
+// verifier, across all three retrieval routines.
+func TestQueryWithFloorsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		users, items := testModel(rng, 2+rng.Intn(12), 5+rng.Intn(80), 1+rng.Intn(8))
+		x := New(Config{TuneSample: 0, BucketSize: 1 + rng.Intn(20)})
+		if x.Build(users, items) != nil {
+			return false
+		}
+		tn := x.tuningFor(1) // force a mixed routine assignment
+		for b := range tn.algos {
+			tn.algos[b] = Algorithm(b % int(numAlgos))
+		}
+		k := 1 + rng.Intn(items.Rows())
+		if k > 8 {
+			k = 8
+		}
+		ids := mips.AllUserIDs(users.Rows())
+		want, err := x.Query(ids, k)
+		if err != nil {
+			return false
+		}
+		floors := make([]float64, len(ids))
+		for i := range floors {
+			if rng.Intn(3) == 0 {
+				floors[i] = math.Inf(-1)
+			} else {
+				floors[i] = want[i][rng.Intn(k)].Score
+			}
+		}
+		got, err := x.QueryWithFloors(ids, k, floors)
+		if err != nil {
+			return false
+		}
+		return mips.VerifyFloorPrefix(want, got, floors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -63,6 +63,69 @@ type Sized interface {
 	NumItems() int
 }
 
+// ThresholdQuerier is the optional interface for solvers that can exploit a
+// caller-supplied lower bound on each user's global top-k threshold — the
+// floor-seeded pruning path. The sharded two-wave executor queries the
+// norm-sorted head shard first, harvests every user's k-th score, and fans
+// the tail shards out through this interface so their bound checks fire
+// before the heaps fill.
+//
+// Contract (the floor contract, verified in the same style as VerifyAll):
+// floors[i] is a lower bound on the global k-th score of user userIDs[i], or
+// math.Inf(-1) for "no bound". The result for user i must be exactly the
+// prefix of the unseeded Query(userIDs, k) result whose scores are >= its
+// floor: every entry whose score beats or ties the floor appears, in the
+// identical rank with the identical score, and entries strictly below the
+// floor may be omitted (rows may therefore be shorter than k, and empty).
+// Ties at the floor MUST be retained — a tied item can still win the global
+// merge on the lower-item-id rule. With every floor at -Inf the call is
+// equivalent to Query. len(floors) must equal len(userIDs).
+type ThresholdQuerier interface {
+	QueryWithFloors(userIDs []int, k int, floors []float64) ([][]topk.Entry, error)
+}
+
+// ValidateFloors checks the QueryWithFloors argument shapes shared by all
+// implementations. NaN floors are rejected: every comparison against NaN is
+// false, which would silently disable pruning on some paths and reject
+// everything on others.
+func ValidateFloors(userIDs []int, floors []float64) error {
+	if len(floors) != len(userIDs) {
+		return fmt.Errorf("mips: %d floors for %d users", len(floors), len(userIDs))
+	}
+	for i, f := range floors {
+		if f != f {
+			return fmt.Errorf("mips: floor %d is NaN", i)
+		}
+	}
+	return nil
+}
+
+// ScanStats counts the candidate evaluations a solver performed: one count
+// per item whose score — full, partial, or via a shared block multiply — was
+// computed against a query. It is the deterministic measure of pruning
+// effectiveness: wall-clock on a loaded 1-CPU box swings ±30%, but the set
+// of candidates a solver scans for a fixed (corpus, query, floor) input is
+// decided by the data alone, so floors-on vs floors-off comparisons are
+// exact. Counts accumulate across queries until ResetScanStats (Build also
+// resets), and are identical at every Threads setting: the repository's
+// deterministic work decomposition scans the same candidates regardless of
+// worker count, and totals are order-independent sums.
+type ScanStats struct {
+	// Scanned is the number of item candidates evaluated since the last
+	// reset.
+	Scanned int64
+}
+
+// Add accumulates other into s.
+func (s *ScanStats) Add(other ScanStats) { s.Scanned += other.Scanned }
+
+// ScanCounter is the optional interface for solvers that meter their scan
+// loops (see ScanStats).
+type ScanCounter interface {
+	ScanStats() ScanStats
+	ResetScanStats()
+}
+
 // ThreadSetter is the optional interface for solvers whose query parallelism
 // can be adjusted after construction (n <= 0 selects the package-wide
 // default from internal/parallel). The OPTIMUS optimizer uses it to align
@@ -227,6 +290,41 @@ func VerifyTopK(user []float64, items *mat.Matrix, got []topk.Entry, k int, tol 
 		}
 		if s := mat.Dot(user, items.Row(j)); s > kth+tol*(1+abs(s)) {
 			return fmt.Errorf("mips: missed item %d with score %v > kth %v", j, s, kth)
+		}
+	}
+	return nil
+}
+
+// VerifyFloorPrefix checks a QueryWithFloors result against the unseeded
+// reference for the same (userIDs, k): each seeded row must be a prefix of
+// the corresponding unseeded row that retains at least every entry whose
+// score beats or ties its floor — the floor contract on ThresholdQuerier.
+// Scores are compared exactly: both calls run the same kernels over the same
+// sub-matrices, so even the last ulp must agree.
+func VerifyFloorPrefix(unseeded, seeded [][]topk.Entry, floors []float64) error {
+	if len(seeded) != len(unseeded) {
+		return fmt.Errorf("mips: %d seeded rows for %d unseeded", len(seeded), len(unseeded))
+	}
+	if len(floors) != len(unseeded) {
+		return fmt.Errorf("mips: %d floors for %d rows", len(floors), len(unseeded))
+	}
+	for i, want := range unseeded {
+		got := seeded[i]
+		if len(got) > len(want) {
+			return fmt.Errorf("mips: row %d: seeded has %d entries, unseeded %d", i, len(got), len(want))
+		}
+		cut := 0
+		for cut < len(want) && want[cut].Score >= floors[i] {
+			cut++
+		}
+		if len(got) < cut {
+			return fmt.Errorf("mips: row %d: floor %v: seeded dropped entry %d (%+v) scoring at or above the floor",
+				i, floors[i], len(got), want[len(got)])
+		}
+		for r := range got {
+			if got[r] != want[r] {
+				return fmt.Errorf("mips: row %d rank %d: seeded %+v, unseeded %+v", i, r, got[r], want[r])
+			}
 		}
 	}
 	return nil

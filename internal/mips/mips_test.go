@@ -1,6 +1,7 @@
 package mips
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -186,5 +187,55 @@ func TestAllUserIDs(t *testing.T) {
 	}
 	if len(AllUserIDs(0)) != 0 {
 		t.Fatal("AllUserIDs(0) should be empty")
+	}
+}
+
+func TestValidateFloors(t *testing.T) {
+	ids := []int{0, 1, 2}
+	if err := ValidateFloors(ids, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFloors(ids, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if err := ValidateFloors(ids, []float64{1, math.NaN(), 3}); err == nil {
+		t.Fatal("NaN floor must fail")
+	}
+	if err := ValidateFloors(ids, []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}); err != nil {
+		t.Fatalf("-Inf floors are the unseeded case: %v", err)
+	}
+}
+
+func TestVerifyFloorPrefix(t *testing.T) {
+	unseeded := [][]topk.Entry{{{Item: 1, Score: 5}, {Item: 2, Score: 3}, {Item: 3, Score: 1}}}
+	// Exact prefix at the floor: ok (tie at floor retained).
+	if err := VerifyFloorPrefix(unseeded, [][]topk.Entry{{{Item: 1, Score: 5}, {Item: 2, Score: 3}}}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	// Longer-than-required prefix: allowed (below-floor entries MAY be kept).
+	if err := VerifyFloorPrefix(unseeded, unseeded, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping an at-floor entry: contract violation.
+	if err := VerifyFloorPrefix(unseeded, [][]topk.Entry{{{Item: 1, Score: 5}}}, []float64{3}); err == nil {
+		t.Fatal("dropping a tie at the floor must fail")
+	}
+	// Wrong entry inside the prefix: violation.
+	if err := VerifyFloorPrefix(unseeded, [][]topk.Entry{{{Item: 9, Score: 5}}}, []float64{5}); err == nil {
+		t.Fatal("diverging prefix entry must fail")
+	}
+	// More entries than the reference: violation.
+	long := [][]topk.Entry{{{Item: 1, Score: 5}, {Item: 2, Score: 3}, {Item: 3, Score: 1}, {Item: 4, Score: 0}}}
+	if err := VerifyFloorPrefix(unseeded, long, []float64{3}); err == nil {
+		t.Fatal("overlong seeded row must fail")
+	}
+}
+
+func TestScanStatsAdd(t *testing.T) {
+	var s ScanStats
+	s.Add(ScanStats{Scanned: 3})
+	s.Add(ScanStats{Scanned: 4})
+	if s.Scanned != 7 {
+		t.Fatalf("Scanned = %d, want 7", s.Scanned)
 	}
 }

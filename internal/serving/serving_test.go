@@ -202,9 +202,9 @@ func (c *countingSolver) NumItems() int { return c.Solver.(mips.Sized).NumItems(
 // hidden re-wraps a countingSolver so the mips.Sized type assertion fails.
 type hidden struct{ c *countingSolver }
 
-func (h hidden) Name() string                 { return h.c.Name() }
-func (h hidden) Batches() bool                { return h.c.Batches() }
-func (h hidden) Build(u, i *mat.Matrix) error { return h.c.Build(u, i) }
+func (h hidden) Name() string                           { return h.c.Name() }
+func (h hidden) Batches() bool                          { return h.c.Batches() }
+func (h hidden) Build(u, i *mat.Matrix) error           { return h.c.Build(u, i) }
 func (h hidden) QueryAll(k int) ([][]topk.Entry, error) { return h.c.QueryAll(k) }
 func (h hidden) Query(ids []int, k int) ([][]topk.Entry, error) {
 	return h.c.Query(ids, k)

@@ -16,10 +16,21 @@ import (
 // whose shards sit in different regimes (a norm-skewed head, a flat tail),
 // different shards genuinely get different strategies — the finer-grained
 // version of the paper's "to index or not to index" answer.
+//
+// Planning cost is amortized across the shards: every Plan call sees the
+// same user population, so the user sample and the BMM baseline rate from
+// the first shard's measurement are cached (core.SharedMeasurement) and
+// reused by the rest — later shards synthesize BMM's estimate from the
+// stored per-(user·item) rate instead of re-querying, roughly halving plan
+// time. SetThreads flushes the cache, since the rate is only valid at the
+// parallelism it was measured at. Plan is not safe for concurrent use;
+// Sharded.Build plans serially precisely so timing measurements (and this
+// cache) never contend.
 type OptimusPlanner struct {
 	cfg        core.OptimusConfig
 	planK      int
 	candidates []mips.Factory
+	shared     core.SharedMeasurement
 }
 
 // DefaultPlanK is the top-K depth a planner measures at when the config
@@ -45,8 +56,13 @@ func (p *OptimusPlanner) Name() string { return "OPTIMUS" }
 // the given parallelism. Sharded.Build forwards its own Threads here before
 // planning, so each shard's decision is measured at the parallelism the
 // winner will actually run at — sampling at one thread count and running at
-// another would bias the crossover (see core.OptimusConfig.Threads).
-func (p *OptimusPlanner) SetThreads(n int) { p.cfg.Threads = parallel.Resolve(n) }
+// another would bias the crossover (see core.OptimusConfig.Threads). The
+// amortization cache is flushed: a baseline rate measured at the old
+// parallelism would poison every subsequent decision.
+func (p *OptimusPlanner) SetThreads(n int) {
+	p.cfg.Threads = parallel.Resolve(n)
+	p.shared = core.SharedMeasurement{}
+}
 
 // Plan implements Planner: run one sampled measurement over this shard's
 // items and return the built winner. The measurement's sampled results are
@@ -66,7 +82,7 @@ func (p *OptimusPlanner) Plan(users, items *mat.Matrix) (mips.Solver, string, er
 		k = items.Rows()
 	}
 	opt := core.NewOptimus(p.cfg, indexes...)
-	dec, err := opt.Measure(users, items, k)
+	dec, err := opt.MeasureShared(users, items, k, &p.shared)
 	if err != nil {
 		return nil, "", err
 	}

@@ -24,10 +24,30 @@
 // rounding: a sub-matrix places items at different offsets inside the
 // blocked GEMM's unrolled edges, which can move the last ulp — the same
 // noise floor the repository's cross-solver agreement tests tolerate.)
+//
+// # Cross-shard threshold propagation (the two-wave query)
+//
+// A blind fan-out wastes the partition's structure: under ByNorm, shard 0
+// holds the biggest-norm head of the catalog, so for most users the global
+// top-k lives almost entirely there — yet every tail shard still answers its
+// local top-k from a cold heap. When the partitioner is head-first (ByNorm)
+// and every tail sub-solver implements mips.ThresholdQuerier, Query runs in
+// two waves instead: wave 1 answers the head shard alone; each user's k-th
+// head score is then a certified lower bound on their global k-th score (a
+// k-th best over a superset never decreases), and wave 2 fans the tail
+// shards out through QueryWithFloors with those bounds as floors. Tail heaps
+// are born with the head's threshold, so LEMP's bucket break, the cone
+// tree's node-bound prune, and MAXIMUS's sorted-bound walk terminate before
+// their heaps fill — on a norm-skewed corpus, often immediately. The floor
+// contract (ties at the floor retained, everything above it intact)
+// guarantees the k-way merge still reproduces the single-wave result
+// entry-for-entry. Config.DisableFloorSeeding forces the single-wave path;
+// S=1 and non-head-first partitions fall back to it automatically.
 package shard
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"optimus/internal/mat"
@@ -69,6 +89,16 @@ func (contiguous) Partition(items *mat.Matrix, shards int) [][]int {
 	return out
 }
 
+// HeadFirst is the optional Partitioner refinement marking partitions whose
+// shard order is head-to-tail by score potential: every item norm in shard s
+// is >= every item norm in shard s+1, so shard 0's local top-k is the best
+// available seed for the remaining shards' thresholds. Sharded switches to
+// the two-wave floor-seeded query when the partitioner reports true here
+// and the tail sub-solvers accept floors.
+type HeadFirst interface {
+	HeadFirst() bool
+}
+
 // byNorm groups items by descending Euclidean norm: shard 0 holds the
 // largest-norm head of the catalog, the last shard its flattest tail. This
 // is the partition that gives per-shard planning something to exploit — on
@@ -80,6 +110,10 @@ type byNorm struct{}
 func ByNorm() Partitioner { return byNorm{} }
 
 func (byNorm) Name() string { return "by-norm" }
+
+// HeadFirst implements the HeadFirst marker: ByNorm's shard 0 dominates by
+// construction, enabling the two-wave query.
+func (byNorm) HeadFirst() bool { return true }
 
 func (byNorm) Partition(items *mat.Matrix, shards int) [][]int {
 	n := items.Rows()
@@ -136,6 +170,11 @@ type Config struct {
 	// sub-solvers implementing mips.ThreadSetter via SetThreads); 0 defers
 	// to the package-wide parallel.Threads() default.
 	Threads int
+	// DisableFloorSeeding forces the single-wave blind fan-out even when the
+	// partitioner is head-first and the sub-solvers accept floors — the
+	// two-wave lesion switch the benchmarks flip to measure the pruning win.
+	// The zero value keeps threshold propagation on wherever it applies.
+	DisableFloorSeeding bool
 }
 
 // shardState is one built partition.
@@ -168,6 +207,10 @@ type Sharded struct {
 	items        *mat.Matrix
 	shards       []shardState
 	batches      bool
+	// twoWave records the Build-time decision to propagate thresholds: the
+	// partitioner is head-first, floor seeding is enabled, there is a tail
+	// to seed, and every tail sub-solver accepts floors.
+	twoWave bool
 }
 
 // New returns an unbuilt Sharded solver. Zero-valued config fields fall
@@ -352,13 +395,79 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 			break
 		}
 	}
+	s.twoWave = false
+	if hf, ok := s.cfg.Partitioner.(HeadFirst); ok && hf.HeadFirst() &&
+		!s.cfg.DisableFloorSeeding && len(shards) > 1 {
+		s.twoWave = true
+		for i := 1; i < len(shards); i++ {
+			if _, ok := shards[i].solver.(mips.ThresholdQuerier); !ok {
+				s.twoWave = false
+				break
+			}
+		}
+	}
 	return nil
+}
+
+// TwoWave reports whether Build enabled the two-wave floor-seeded query
+// path (see the package comment). False before Build.
+func (s *Sharded) TwoWave() bool { return s.twoWave }
+
+// ScanStats implements mips.ScanCounter, summing every metered sub-solver.
+func (s *Sharded) ScanStats() mips.ScanStats {
+	var total mips.ScanStats
+	for _, st := range s.ShardScanStats() {
+		total.Add(st)
+	}
+	return total
+}
+
+// ResetScanStats implements mips.ScanCounter.
+func (s *Sharded) ResetScanStats() {
+	for i := range s.shards {
+		if sc, ok := s.shards[i].solver.(mips.ScanCounter); ok {
+			sc.ResetScanStats()
+		}
+	}
+}
+
+// ShardScanStats returns per-shard scan counts in shard order (zero for
+// sub-solvers that do not implement mips.ScanCounter). Shard 0 is wave 1 of
+// a two-wave query; the remainder are wave 2 — the split the sharding
+// benchmark reports per wave.
+func (s *Sharded) ShardScanStats() []mips.ScanStats {
+	out := make([]mips.ScanStats, len(s.shards))
+	for i := range s.shards {
+		if sc, ok := s.shards[i].solver.(mips.ScanCounter); ok {
+			out[i] = sc.ScanStats()
+		}
+	}
+	return out
 }
 
 // Query implements mips.Solver: fan the id list out to every shard (each
 // shard answers min(k, shard size) on its sub-corpus), remap shard-local
-// item ids to global ids, and k-way merge per user.
+// item ids to global ids, and k-way merge per user. When Build enabled
+// threshold propagation the fan-out runs in two waves instead — head shard
+// first, tails floor-seeded with each user's k-th head score (see the
+// package comment).
 func (s *Sharded) Query(userIDs []int, k int) ([][]topk.Entry, error) {
+	return s.query(userIDs, k, nil)
+}
+
+// QueryWithFloors implements mips.ThresholdQuerier, making Sharded
+// composable under a further threshold-propagating layer: caller floors
+// seed wave 1 (when the head sub-solver accepts them), combine with the
+// harvested head thresholds for wave 2, and reach every floor-capable shard
+// on the single-wave path. Results honor the floor contract.
+func (s *Sharded) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloors(userIDs, floors); err != nil {
+		return nil, err
+	}
+	return s.query(userIDs, k, floors)
+}
+
+func (s *Sharded) query(userIDs []int, k int, extFloors []float64) ([][]topk.Entry, error) {
 	if s.shards == nil {
 		return nil, fmt.Errorf("shard: Query before Build")
 	}
@@ -371,16 +480,31 @@ func (s *Sharded) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 		}
 	}
 	partials := make([][][]topk.Entry, len(s.shards))
-	err := parallel.ForErrThreads(s.cfg.Threads, len(s.shards), 1, func(lo, hi int) error {
-		var first error
-		for si := lo; si < hi; si++ {
-			if e := s.queryShard(si, userIDs, k, partials); e != nil && first == nil {
-				first = e
+	if s.twoWave {
+		// Wave 1: the head shard alone, at full parallelism inside the
+		// sub-solver.
+		if err := s.queryShard(0, userIDs, k, extFloors, partials); err != nil {
+			return nil, err
+		}
+		// Harvest each user's k-th head score: the k-th best over the head
+		// items is a lower bound on the k-th best over all items. A head
+		// shard smaller than k (or itself floored below k entries) proves
+		// nothing for that user; the external floor, if any, still applies.
+		floors := make([]float64, len(userIDs))
+		for i, row := range partials[0] {
+			floors[i] = math.Inf(-1)
+			if extFloors != nil {
+				floors[i] = extFloors[i]
+			}
+			if len(row) >= k && row[k-1].Score > floors[i] {
+				floors[i] = row[k-1].Score
 			}
 		}
-		return first
-	})
-	if err != nil {
+		// Wave 2: fan the seeded tails out.
+		if err := s.fanOut(1, userIDs, k, floors, partials); err != nil {
+			return nil, err
+		}
+	} else if err := s.fanOut(0, userIDs, k, extFloors, partials); err != nil {
 		return nil, err
 	}
 
@@ -398,18 +522,43 @@ func (s *Sharded) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 	return out, nil
 }
 
+// fanOut queries shards [firstShard, len(shards)) in parallel, collecting
+// the first error — the shared loop under both the single-wave path
+// (firstShard 0) and wave 2 of the two-wave path (firstShard 1).
+func (s *Sharded) fanOut(firstShard int, userIDs []int, k int, floors []float64, partials [][][]topk.Entry) error {
+	return parallel.ForErrThreads(s.cfg.Threads, len(s.shards)-firstShard, 1, func(lo, hi int) error {
+		var first error
+		for si := lo + firstShard; si < hi+firstShard; si++ {
+			if e := s.queryShard(si, userIDs, k, floors, partials); e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	})
+}
+
 // mergeGrain is the per-chunk user count of the merge fan-out; merges are
 // cheap (O(k log S)), so chunks are coarse.
 const mergeGrain = 64
 
 // queryShard answers one shard and remaps its item ids into global space.
-func (s *Sharded) queryShard(si int, userIDs []int, k int, partials [][][]topk.Entry) error {
+// floors, when non-nil, seeds the shard's query if its solver accepts
+// floors; a plain Query is a valid substitute (its result is a superset of
+// any floored prefix), so non-capable solvers on the single-wave path just
+// ignore the bound.
+func (s *Sharded) queryShard(si int, userIDs []int, k int, floors []float64, partials [][][]topk.Entry) error {
 	sh := &s.shards[si]
 	kq := k
 	if kq > sh.count {
 		kq = sh.count
 	}
-	res, err := sh.solver.Query(userIDs, kq)
+	var res [][]topk.Entry
+	var err error
+	if tq, ok := sh.solver.(mips.ThresholdQuerier); ok && floors != nil {
+		res, err = tq.QueryWithFloors(userIDs, kq, floors)
+	} else {
+		res, err = sh.solver.Query(userIDs, kq)
+	}
 	if err != nil {
 		return fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
 	}

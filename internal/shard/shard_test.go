@@ -430,17 +430,284 @@ func TestValidatePartition(t *testing.T) {
 		ok    bool
 	}{
 		{[][]int{{0, 1}, {2, 3}}, 4, true},
-		{[][]int{{2, 3}, {0, 1}}, 4, true},    // order of groups is free
-		{[][]int{{1, 0}, {3, 2}}, 4, true},    // unsorted groups get sorted
-		{[][]int{{0, 1}, {1, 2}}, 3, false},   // duplicate
-		{[][]int{{0, 1}}, 3, false},           // missing id
-		{[][]int{{0, 1}, {2, 4}}, 4, false},   // out of range
-		{[][]int{{-1, 0}, {1, 2}}, 3, false},  // negative
+		{[][]int{{2, 3}, {0, 1}}, 4, true},   // order of groups is free
+		{[][]int{{1, 0}, {3, 2}}, 4, true},   // unsorted groups get sorted
+		{[][]int{{0, 1}, {1, 2}}, 3, false},  // duplicate
+		{[][]int{{0, 1}}, 3, false},          // missing id
+		{[][]int{{0, 1}, {2, 4}}, 4, false},  // out of range
+		{[][]int{{-1, 0}, {1, 2}}, 3, false}, // negative
 	}
 	for i, tc := range cases {
 		err := validatePartition(tc.parts, tc.n)
 		if (err == nil) != tc.ok {
 			t.Fatalf("case %d: err=%v, want ok=%v", i, err, tc.ok)
 		}
+	}
+}
+
+// Static conformance: the composite and all four floor-capable sub-solvers
+// implement the threshold-propagation contracts.
+var (
+	_ mips.ThresholdQuerier = (*Sharded)(nil)
+	_ mips.ScanCounter      = (*Sharded)(nil)
+	_ mips.ThresholdQuerier = (*core.BMM)(nil)
+	_ mips.ThresholdQuerier = (*core.Maximus)(nil)
+	_ mips.ThresholdQuerier = (*lemp.Index)(nil)
+	_ mips.ThresholdQuerier = (*conetree.Index)(nil)
+	_ mips.ScanCounter      = (*core.BMM)(nil)
+	_ mips.ScanCounter      = (*core.Maximus)(nil)
+	_ mips.ScanCounter      = (*lemp.Index)(nil)
+	_ mips.ScanCounter      = (*conetree.Index)(nil)
+)
+
+// TestTwoWaveMatchesSingleWave is the threshold-propagation invariant: for
+// every floor-capable sub-solver and shard count, the two-wave floor-seeded
+// query over the by-norm partition returns entry-for-entry identical
+// results to the blind single-wave fan-out (and both match the exactness
+// oracle). Floors must never scan *more* than the blind path.
+func TestTwoWaveMatchesSingleWave(t *testing.T) {
+	models := []string{"netflix-nomad-25", "r2-nomad-25"}
+	const k = 7
+	for _, mname := range models {
+		m := model(t, mname, 0.04)
+		for sub, factory := range factories() {
+			if sub == "Naive" {
+				continue // not floor-capable; covered by TestTwoWaveFallbacks
+			}
+			for _, shards := range []int{2, 3, 8} {
+				name := fmt.Sprintf("%s/%s/S=%d", mname, sub, shards)
+				t.Run(name, func(t *testing.T) {
+					blind := New(Config{
+						Shards: shards, Partitioner: ByNorm(),
+						Factory: factory, DisableFloorSeeding: true,
+					})
+					if err := blind.Build(m.Users, m.Items); err != nil {
+						t.Fatal(err)
+					}
+					if blind.TwoWave() {
+						t.Fatal("DisableFloorSeeding must force single-wave")
+					}
+					want, err := blind.QueryAll(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					blindTail := tailScanned(blind)
+
+					seeded := New(Config{Shards: shards, Partitioner: ByNorm(), Factory: factory})
+					if err := seeded.Build(m.Users, m.Items); err != nil {
+						t.Fatal(err)
+					}
+					if !seeded.TwoWave() {
+						t.Fatalf("by-norm Sharded(%s) must enable the two-wave path", sub)
+					}
+					got, err := seeded.QueryAll(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := mips.VerifyAll(m.Users, m.Items, got, k, 1e-9); err != nil {
+						t.Fatal(err)
+					}
+					for u := range want {
+						assertSameEntries(t, u, want[u], got[u])
+					}
+					if seededTail := tailScanned(seeded); seededTail > blindTail {
+						t.Fatalf("floors scanned %d tail candidates, blind %d — seeding must never add work",
+							seededTail, blindTail)
+					}
+				})
+			}
+		}
+	}
+}
+
+// tailScanned sums the scan counters of every shard but the head.
+func tailScanned(s *Sharded) int64 {
+	var total int64
+	for si, st := range s.ShardScanStats() {
+		if si > 0 {
+			total += st.Scanned
+		}
+	}
+	return total
+}
+
+// TestTwoWavePrunesTailScans pins the win on the corpus the partition is
+// designed for: a norm-skewed head and a flat tail. Scan counts are
+// deterministic (data-dependent only), so the strict reduction is a stable
+// assertion, unlike wall-clock.
+func TestTwoWavePrunesTailScans(t *testing.T) {
+	users, items := planningCorpus(t, 5)
+	const k = 10
+	for _, sub := range []string{"LEMP", "MAXIMUS"} {
+		factory := factories()[sub]
+		t.Run(sub, func(t *testing.T) {
+			blind := New(Config{
+				Shards: 4, Partitioner: ByNorm(),
+				Factory: factory, DisableFloorSeeding: true,
+			})
+			if err := blind.Build(users, items); err != nil {
+				t.Fatal(err)
+			}
+			want, err := blind.QueryAll(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blindTail := tailScanned(blind)
+
+			seeded := New(Config{Shards: 4, Partitioner: ByNorm(), Factory: factory})
+			if err := seeded.Build(users, items); err != nil {
+				t.Fatal(err)
+			}
+			got, err := seeded.QueryAll(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range want {
+				assertSameEntries(t, u, want[u], got[u])
+			}
+			seededTail := tailScanned(seeded)
+			if seededTail >= blindTail {
+				t.Fatalf("seeded tail scans %d, blind %d — floors must prune on a norm-skewed corpus",
+					seededTail, blindTail)
+			}
+			t.Logf("%s: tail scans blind=%d seeded=%d (%.1f%% pruned)",
+				sub, blindTail, seededTail, 100*(1-float64(seededTail)/float64(blindTail)))
+		})
+	}
+}
+
+// TestTwoWaveFallbacks pins when threshold propagation must NOT engage:
+// single shard, non-head-first partitions, floor-blind sub-solvers, and the
+// explicit lesion switch — all staying exact on the single-wave path.
+func TestTwoWaveFallbacks(t *testing.T) {
+	m := model(t, "netflix-nomad-10", 0.02)
+	const k = 3
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"S=1", Config{Shards: 1, Partitioner: ByNorm(),
+			Factory: func() mips.Solver { return core.NewBMM(core.BMMConfig{}) }}},
+		{"contiguous", Config{Shards: 3,
+			Factory: func() mips.Solver { return core.NewBMM(core.BMMConfig{}) }}},
+		{"naive-sub-solver", Config{Shards: 3, Partitioner: ByNorm(),
+			Factory: func() mips.Solver { return mips.NewNaive() }}},
+		{"disabled", Config{Shards: 3, Partitioner: ByNorm(), DisableFloorSeeding: true,
+			Factory: func() mips.Solver { return core.NewBMM(core.BMMConfig{}) }}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sh := New(tc.cfg)
+			if err := sh.Build(m.Users, m.Items); err != nil {
+				t.Fatal(err)
+			}
+			if sh.TwoWave() {
+				t.Fatal("two-wave must not engage")
+			}
+			res, err := sh.QueryAll(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mips.VerifyAll(m.Users, m.Items, res, k, 1e-9); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedQueryWithFloors covers the composite's own ThresholdQuerier:
+// caller floors must compose with the internal two-wave harvest (by-norm)
+// and forward on the single-wave path (contiguous), honoring the floor
+// contract against the unseeded composite.
+func TestShardedQueryWithFloors(t *testing.T) {
+	m := model(t, "netflix-nomad-25", 0.04)
+	const k = 5
+	for _, part := range []Partitioner{Contiguous(), ByNorm()} {
+		t.Run(part.Name(), func(t *testing.T) {
+			sh := New(Config{
+				Shards: 3, Partitioner: part,
+				Factory: func() mips.Solver { return lemp.New(lemp.Config{Seed: 3}) },
+			})
+			if err := sh.Build(m.Users, m.Items); err != nil {
+				t.Fatal(err)
+			}
+			ids := mips.AllUserIDs(m.Users.Rows())
+			want, err := sh.Query(ids, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			floors := make([]float64, len(ids))
+			for i := range floors {
+				switch i % 3 {
+				case 0:
+					floors[i] = math.Inf(-1)
+				case 1:
+					floors[i] = want[i][k-1].Score // tie at the global k-th
+				default:
+					floors[i] = want[i][0].Score
+				}
+			}
+			got, err := sh.QueryWithFloors(ids, k, floors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mips.VerifyFloorPrefix(want, got, floors); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sh.QueryWithFloors(ids, k, floors[:1]); err == nil {
+				t.Fatal("floor/user length mismatch must fail")
+			}
+		})
+	}
+}
+
+// TestPlannerAmortizesAcrossShards pins the cost-amortization contract:
+// consecutive Plan calls share one user sample and BMM baseline rate (the
+// first call fills the cache, later calls consume it), and SetThreads —
+// which invalidates the rate's measurement conditions — flushes it.
+func TestPlannerAmortizesAcrossShards(t *testing.T) {
+	m := model(t, "netflix-nomad-10", 0.04)
+	p := NewOptimusPlanner(core.OptimusConfig{
+		SampleFraction: 0.2, L2CacheBytes: 1 << 10, Seed: 5,
+	}, 3, func() mips.Solver { return core.NewMaximus(core.MaximusConfig{Seed: 5}) })
+
+	if _, _, err := p.Plan(m.Users, m.Items); err != nil {
+		t.Fatal(err)
+	}
+	if p.shared.BMMSecondsPerUserItem <= 0 || len(p.shared.SampleIDs) == 0 {
+		t.Fatalf("first Plan must fill the shared cache: %+v", p.shared)
+	}
+	rate := p.shared.BMMSecondsPerUserItem
+	ids := append([]int(nil), p.shared.SampleIDs...)
+
+	// Second shard (different item subset): the cache must survive intact —
+	// the rate is reused, not remeasured.
+	sub := m.Items.RowSlice(0, m.Items.Rows()/2)
+	solver, name, err := p.Plan(m.Users, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solver == nil || name == "" {
+		t.Fatal("degenerate plan")
+	}
+	if p.shared.BMMSecondsPerUserItem != rate {
+		t.Fatalf("rate remeasured across shards: %v -> %v", rate, p.shared.BMMSecondsPerUserItem)
+	}
+	for i, id := range p.shared.SampleIDs {
+		if id != ids[i] {
+			t.Fatal("sample redrawn across shards")
+		}
+	}
+	res, err := solver.QueryAll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyAll(m.Users, sub, res, 2, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetThreads(2)
+	if p.shared.BMMSecondsPerUserItem != 0 || p.shared.SampleIDs != nil {
+		t.Fatalf("SetThreads must flush the cache: %+v", p.shared)
 	}
 }

@@ -31,16 +31,6 @@ func splitSorted(rng *rand.Rand, entries []Entry, nLists int) [][]Entry {
 	return lists
 }
 
-func sortEntries(list []Entry) {
-	// Insertion sort by the repository convention; test-only, sizes are
-	// small.
-	for i := 1; i < len(list); i++ {
-		for j := i; j > 0 && less(list[j-1], list[j]); j-- {
-			list[j-1], list[j] = list[j], list[j-1]
-		}
-	}
-}
-
 func entriesEqual(a, b []Entry) bool {
 	if len(a) != len(b) {
 		return false

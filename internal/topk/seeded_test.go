@@ -1,0 +1,196 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeededBasics(t *testing.T) {
+	h := NewSeeded(3, 5.0)
+	if h.Floor() != 5.0 {
+		t.Fatalf("Floor = %v, want 5", h.Floor())
+	}
+	// Seeded: the threshold is available before the heap fills.
+	if thr, ok := h.Threshold(); !ok || thr != 5.0 {
+		t.Fatalf("Threshold = %v,%v, want 5,true", thr, ok)
+	}
+	if h.Push(1, 4.9) {
+		t.Fatal("below-floor candidate must be rejected")
+	}
+	if !h.Push(2, 5.0) {
+		t.Fatal("candidate tying the floor must be retained")
+	}
+	if !h.Push(3, 7.0) {
+		t.Fatal("above-floor candidate must be retained")
+	}
+	// Not yet full: the floor still rules the threshold.
+	if thr, ok := h.Threshold(); !ok || thr != 5.0 {
+		t.Fatalf("Threshold = %v,%v, want 5,true", thr, ok)
+	}
+	h.Push(4, 6.0)
+	// Full: the root (>= floor by construction) takes over.
+	if thr, ok := h.Threshold(); !ok || thr != 5.0 {
+		t.Fatalf("full Threshold = %v,%v, want root 5,true", thr, ok)
+	}
+	got := h.Sorted()
+	want := []Entry{{3, 7}, {4, 6}, {2, 5}}
+	if !Equal(got, want, 0) {
+		t.Fatalf("Sorted = %+v, want %+v", got, want)
+	}
+}
+
+func TestNewIsUnseeded(t *testing.T) {
+	h := New(2)
+	if !math.IsInf(h.Floor(), -1) {
+		t.Fatalf("New floor = %v, want -Inf", h.Floor())
+	}
+	if _, ok := h.Threshold(); ok {
+		t.Fatal("unseeded heap must not report a threshold before it fills")
+	}
+	if !h.Push(1, math.Inf(-1)+1) || !h.Push(2, -1e300) {
+		t.Fatal("unseeded heap must accept arbitrarily low scores")
+	}
+}
+
+func TestSetFloorPanicsOnNonEmpty(t *testing.T) {
+	h := New(2)
+	h.Push(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for SetFloor on non-empty heap")
+		}
+	}()
+	h.SetFloor(0)
+}
+
+func TestResetKeepsFloor(t *testing.T) {
+	h := NewSeeded(2, 3.0)
+	h.Push(1, 4)
+	h.Reset()
+	if h.Floor() != 3.0 {
+		t.Fatalf("floor after Reset = %v, want 3", h.Floor())
+	}
+	if h.Push(2, 2.5) {
+		t.Fatal("floor must still reject after Reset")
+	}
+	h.SetFloor(math.Inf(-1))
+	if !h.Push(2, 2.5) {
+		t.Fatal("clearing the floor must re-admit low scores")
+	}
+}
+
+// seededPrefix checks the floor contract the two-wave sharded query relies
+// on: the seeded result is exactly the prefix of the unseeded result whose
+// scores are >= floor, truncated at k. Ties at the floor must be retained —
+// a tied item with a lower id than the floor's source wins the global
+// tie-break — which is the same hazard LEMP's fp-slack guard band protects
+// its bound pruning against.
+func seededPrefix(t *testing.T, scores []float64, k int, floor float64) {
+	t.Helper()
+	blind := New(k)
+	seeded := NewSeeded(k, floor)
+	for i, s := range scores {
+		blind.Push(i, s)
+		seeded.Push(i, s)
+	}
+	want := blind.Sorted()
+	cut := 0
+	for cut < len(want) && want[cut].Score >= floor {
+		cut++
+	}
+	got := seeded.Sorted()
+	if !Equal(got, want[:cut], 0) {
+		t.Fatalf("floor %v: seeded %+v, want prefix %+v of %+v", floor, got, want[:cut], want)
+	}
+}
+
+func TestSeededMatchesUnseededPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		scores := make([]float64, n)
+		for i := range scores {
+			// Coarse quantization forces many exact ties, including ties at
+			// the floor when the floor is drawn from the scores below.
+			scores[i] = float64(rng.Intn(10))
+		}
+		var floor float64
+		switch rng.Intn(4) {
+		case 0:
+			floor = scores[rng.Intn(n)] // exactly tying some candidates
+		case 1:
+			floor = float64(rng.Intn(10)) + 0.5 // between quantization levels
+		case 2:
+			floor = math.Inf(-1) // degenerate: behaves as unseeded
+		default:
+			floor = 11 // above everything: rejects the whole row
+		}
+		seededPrefix(t, scores, k, floor)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzSeededHeap(f *testing.F) {
+	f.Add(int64(1), uint8(3), int16(4))
+	f.Add(int64(7), uint8(1), int16(-1))
+	f.Add(int64(42), uint8(20), int16(99))
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint8, floorIdx int16) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		k := 1 + int(kRaw)%25
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(7)) // dense exact ties
+		}
+		var floor float64
+		switch {
+		case floorIdx < 0:
+			floor = math.Inf(-1)
+		case int(floorIdx) < n:
+			floor = scores[floorIdx]
+		default:
+			floor = float64(floorIdx%20) - 6
+		}
+		seededPrefix(t, scores, k, floor)
+	})
+}
+
+func TestSelectRowIntoMatchesSelectRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := New(5)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(6))
+		}
+		want := SelectRow(scores, 7, 5)
+		got := SelectRowInto(h, scores, 7)
+		if !Equal(got, want, 0) {
+			t.Fatalf("trial %d: got %+v, want %+v", trial, got, want)
+		}
+		if h.Len() != 0 {
+			t.Fatal("SelectRowInto must leave the heap empty")
+		}
+	}
+}
+
+func TestSelectRowIntoFloorAware(t *testing.T) {
+	h := New(3)
+	h.SetFloor(10)
+	if got := SelectRowInto(h, []float64{1, 2, 3}, 0); got != nil {
+		t.Fatalf("fully-floored row must return nil, got %+v", got)
+	}
+	h.SetFloor(2)
+	got := SelectRowInto(h, []float64{1, 2, 3}, 0)
+	want := []Entry{{2, 3}, {1, 2}}
+	if !Equal(got, want, 0) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}

@@ -9,6 +9,7 @@ package topk
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -30,8 +31,22 @@ func less(a, b Entry) bool {
 // Heap is a bounded min-heap of the best K entries seen so far. The root is
 // always the *worst* retained entry, so a candidate beats the heap iff it
 // beats the root. The zero value is unusable; call New.
+//
+// A heap can additionally carry a floor (NewSeeded, SetFloor): a lower bound
+// on the k-th score the caller already knows from elsewhere — in the sharded
+// two-wave query path, the head shard's k-th score for the same user. The
+// floor acts as a virtual threshold from the very first push: candidates
+// strictly below it are rejected even while the heap has room, and Threshold
+// reports it before the heap fills so solver prune conditions fire
+// immediately. Candidates scoring exactly the floor are retained, because a
+// tied item with a lower id than the floor's source still wins the global
+// tie-break; the seeded result is therefore always a prefix of the unseeded
+// result — every entry with score >= floor, in identical order, truncated at
+// k (see the package tests for the property statement).
 type Heap struct {
 	k       int
+	floor   float64 // virtual threshold; -Inf when unseeded
+	seeded  bool    // floor > -Inf: Threshold is available before the heap fills
 	entries []Entry
 }
 
@@ -40,8 +55,33 @@ func New(k int) *Heap {
 	if k < 1 {
 		panic(fmt.Sprintf("topk: k must be >= 1, got %d", k))
 	}
-	return &Heap{k: k, entries: make([]Entry, 0, k)}
+	return &Heap{k: k, floor: math.Inf(-1), entries: make([]Entry, 0, k)}
 }
+
+// NewSeeded returns a heap retaining the best k entries at or above floor.
+// floor = -Inf is the unseeded heap New returns. Panics if k < 1.
+func NewSeeded(k int, floor float64) *Heap {
+	h := New(k)
+	h.SetFloor(floor)
+	return h
+}
+
+// SetFloor installs a lower bound on the k-th score: candidates strictly
+// below it are rejected, candidates tying it are retained (see the Heap
+// comment). It must be called while the heap is empty — retroactively
+// raising the floor over retained entries would have to evict them — and
+// panics otherwise. Reset keeps the floor; call SetFloor after Reset to
+// change it between reuses.
+func (h *Heap) SetFloor(floor float64) {
+	if len(h.entries) != 0 {
+		panic("topk: SetFloor on a non-empty heap")
+	}
+	h.floor = floor
+	h.seeded = !math.IsInf(floor, -1)
+}
+
+// Floor returns the current floor (-Inf when unseeded).
+func (h *Heap) Floor() float64 { return h.floor }
 
 // K returns the heap's capacity.
 func (h *Heap) K() int { return h.k }
@@ -62,17 +102,30 @@ func (h *Heap) Min() Entry {
 	return h.entries[0]
 }
 
-// Threshold returns the score a candidate must strictly beat to enter a full
-// heap, and ok=false while the heap still has room (no pruning allowed yet).
+// Threshold returns the current pruning threshold and whether pruning is
+// allowed. For an unseeded heap that is the root score once full, and
+// ok=false while the heap still has room. A seeded heap reports its floor
+// even before it fills — the whole point of floor seeding is that prune
+// conditions fire from the first candidate. Every retained entry scores at
+// least the floor, so a full seeded heap's root already dominates it.
 func (h *Heap) Threshold() (score float64, ok bool) {
-	if !h.Full() {
-		return 0, false
+	if h.Full() {
+		return h.entries[0].Score, true
 	}
-	return h.entries[0].Score, true
+	if h.seeded {
+		return h.floor, true
+	}
+	return 0, false
 }
 
 // Push offers a candidate. It returns true if the candidate was retained.
+// Candidates strictly below the floor are rejected regardless of occupancy;
+// candidates tying the floor compete normally (ties at the floor must
+// survive for the global tie-break — see the Heap comment).
 func (h *Heap) Push(item int, score float64) bool {
+	if score < h.floor {
+		return false
+	}
 	e := Entry{Item: item, Score: score}
 	if len(h.entries) < h.k {
 		h.entries = append(h.entries, e)
@@ -87,7 +140,7 @@ func (h *Heap) Push(item int, score float64) bool {
 	return true
 }
 
-// Reset empties the heap for reuse, keeping its capacity.
+// Reset empties the heap for reuse, keeping its capacity and floor.
 func (h *Heap) Reset() { h.entries = h.entries[:0] }
 
 // Sorted returns the retained entries ranked best-first (descending score,
@@ -95,9 +148,14 @@ func (h *Heap) Reset() { h.entries = h.entries[:0] }
 // slice reuses the heap's storage.
 func (h *Heap) Sorted() []Entry {
 	out := h.entries
-	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
+	sortEntries(out)
 	h.entries = nil
 	return out
+}
+
+// sortEntries ranks entries best-first in place.
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool { return less(es[j], es[i]) })
 }
 
 func (h *Heap) siftUp(i int) {
@@ -133,12 +191,35 @@ func (h *Heap) siftDown(i int) {
 // SelectRow returns the top-k entries of one dense score row, where the item
 // id of scores[j] is itemBase+j. This is the harvesting step that follows a
 // BMM slab: the paper notes its cost is why BMM's runtime varies with K.
+// Allocation-sensitive callers harvesting many rows should reuse one heap
+// with SelectRowInto instead; floor-aware harvesting seeds that heap first.
 func SelectRow(scores []float64, itemBase, k int) []Entry {
 	h := New(k)
 	for j, s := range scores {
 		h.Push(itemBase+j, s)
 	}
 	return h.Sorted()
+}
+
+// SelectRowInto is SelectRow over a caller-supplied heap, reusing its storage
+// across rows: h must be empty (freshly created, Reset, or left behind by a
+// previous SelectRowInto) and is left empty — with capacity and floor intact
+// — on return. The returned slice is freshly allocated and sized to the
+// retained entry count, so a seeded heap whose floor rejects a whole row
+// costs no allocation at all. This is the BMM harvest hot path: one heap per
+// worker chunk instead of one per score row.
+func SelectRowInto(h *Heap, scores []float64, itemBase int) []Entry {
+	for j, s := range scores {
+		h.Push(itemBase+j, s)
+	}
+	if len(h.entries) == 0 {
+		return nil
+	}
+	sortEntries(h.entries)
+	out := make([]Entry, len(h.entries))
+	copy(out, h.entries)
+	h.Reset()
+	return out
 }
 
 // MergeInto pushes previously harvested entries into h, used when a user's

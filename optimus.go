@@ -78,6 +78,24 @@ type Entry = topk.Entry
 // Build, then Query/QueryAll; implementations are read-only after Build).
 type Solver = mips.Solver
 
+// ThresholdQuerier is the optional Solver refinement for floor-seeded
+// queries: QueryWithFloors(userIDs, k, floors) prunes each user's search
+// against a caller-known lower bound on their global k-th score, returning
+// a prefix of the unseeded result (every entry at or above the floor,
+// identically ranked). BMM, MAXIMUS, LEMP, the cone tree, and Sharded all
+// implement it; the sharded two-wave query path is built on it.
+type ThresholdQuerier = mips.ThresholdQuerier
+
+// ScanStats counts the item candidates a solver evaluated — the
+// deterministic pruning-effectiveness metric the sharding benchmark reports
+// per wave (wall-clock is noisy; the scanned set is decided by the data
+// alone and identical at every thread count).
+type ScanStats = mips.ScanStats
+
+// ScanCounter is the optional Solver refinement exposing ScanStats
+// (cumulative across queries; ResetScanStats or Build clears).
+type ScanCounter = mips.ScanCounter
+
 // NewMatrix allocates a rows×cols zero matrix.
 func NewMatrix(rows, cols int) *Matrix { return mat.New(rows, cols) }
 
@@ -184,6 +202,13 @@ type ShardedConfig = shard.Config
 // shard (optionally choosing a different strategy per shard via
 // NewShardPlanner), fans queries out in parallel, and k-way merges the
 // partial top-Ks. Results are identical to the unsharded solver's.
+//
+// With the ShardByNorm partitioner and floor-capable sub-solvers (see
+// ThresholdQuerier), queries automatically run in two waves: the
+// largest-norm head shard answers first, each user's k-th head score seeds
+// the tail shards' thresholds, and norm-sorted tail shards prune most of
+// their scans — cross-shard threshold propagation. Set
+// ShardedConfig.DisableFloorSeeding to force the blind single-wave fan-out.
 type Sharded = shard.Sharded
 
 // ShardPlan describes one shard's item count and chosen strategy.
@@ -198,7 +223,8 @@ func ShardContiguous() shard.Partitioner { return shard.Contiguous() }
 
 // ShardByNorm returns the norm-sorted partitioner: shard 0 holds the
 // largest-norm head of the catalog — the partition per-shard planning
-// exploits on norm-skewed corpora.
+// exploits on norm-skewed corpora, and the one that enables the two-wave
+// floor-seeded query (see Sharded).
 func ShardByNorm() shard.Partitioner { return shard.ByNorm() }
 
 // NewShardPlanner returns a per-shard OPTIMUS planner for ShardedConfig:
