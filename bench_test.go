@@ -283,6 +283,114 @@ func BenchmarkThresholdPruning(b *testing.B) {
 	}
 }
 
+// benchModelSeed is benchModel with an extra seed offset — an independent
+// draw from the same distribution, the churn benchmark's arrival stream.
+func benchModelSeed(b *testing.B, name string, extra int64) *dataset.Model {
+	b.Helper()
+	cfg, err := dataset.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg = cfg.Scale(benchScale)
+	cfg.Seed += extra
+	m, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkChurn — the mutable-corpus lifecycle on the by-norm sharded
+// executor: each op is one churn round (add a batch, remove a batch spread
+// across the norm range, serve the whole user base). The dirty-shard mode
+// mutates in place; the full-rebuild mode pays a fresh composite Build over
+// the mutated corpus — the static-solver baseline the lifecycle replaces,
+// which by definition reconstructs all S sub-solvers every round. The
+// wall-clock delta between the modes is the rebuild time saved; dirty mode
+// additionally reports dirty-shards/op, the deterministic count of
+// sub-solver mutations per round (an add and a remove each dirty up to S
+// shards under this deliberately spread workload; a norm-localized
+// mutation dirties one — see TestDirtyShardIsolation). Compare with
+//
+//	go test -bench=Churn -run=^$ -count=5 | benchstat
+func BenchmarkChurn(b *testing.B) {
+	m := benchModel(b, "r2-nomad-50")
+	pool := benchModelSeed(b, "r2-nomad-50", 977).Items
+	const k = 10
+	const shards = 4
+	batch := m.Items.Rows() / 100
+	if batch < 1 {
+		batch = 1
+	}
+	for _, solver := range []string{"LEMP", "MAXIMUS"} {
+		for _, mode := range []string{"dirty-shard", "full-rebuild"} {
+			b.Run(fmt.Sprintf("%s/S=%d/%s", solver, shards, mode), func(b *testing.B) {
+				solver := solver
+				cfg := shard.Config{
+					Shards:      shards,
+					Partitioner: shard.ByNorm(),
+					Factory:     func() mips.Solver { return benchSolver(solver) },
+				}
+				s := shard.New(cfg)
+				if err := s.Build(m.Users, m.Items); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.QueryAll(k); err != nil { // warm tuning caches
+					b.Fatal(err)
+				}
+				corpus := m.Items
+				next := 0
+				draw := func() *Matrix {
+					if next+batch > pool.Rows() {
+						next = 0 // recycle the arrival stream
+					}
+					add := pool.RowSlice(next, next+batch)
+					next += batch
+					return add
+				}
+				rm := make([]int, batch)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					add := draw()
+					for j := range rm {
+						// Deterministic spread across the whole norm range.
+						rm[j] = (j*corpus.Rows()/batch + i*131) % corpus.Rows()
+					}
+					sorted, err := mips.ValidateRemoveIDs(rm, corpus.Rows()+batch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode == "dirty-shard" {
+						if _, err := s.AddItems(add); err != nil {
+							b.Fatal(err)
+						}
+						if err := s.RemoveItems(sorted); err != nil {
+							b.Fatal(err)
+						}
+						corpus = RemoveMatrixRows(AppendMatrixRows(corpus, add), sorted)
+					} else {
+						corpus = RemoveMatrixRows(AppendMatrixRows(corpus, add), sorted)
+						s = shard.New(cfg)
+						if err := s.Build(m.Users, corpus); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := s.QueryAll(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				rounds := float64(b.N)
+				b.ReportMetric(rounds/b.Elapsed().Seconds(), "rounds/s")
+				if mode == "dirty-shard" {
+					st := s.MutationStats()
+					b.ReportMetric(float64(st.Dirty())/rounds, "dirty-shards/op")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig7 — cost of one OPTIMUS measurement pass (build + sample +
 // decide) at the sample ratios the estimator sweep uses.
 func BenchmarkFig7(b *testing.B) {

@@ -8,7 +8,7 @@
 //	mipsbench [flags] <experiment>
 //
 // where <experiment> is one of: table1 fig2 fig4 fig5 fig6 fig7 fig8 table2
-// sharding ablation-clustering ablation-params ablation-ttest
+// sharding churn ablation-clustering ablation-params ablation-ttest
 // ablation-costmodel all
 //
 // Examples:
@@ -17,6 +17,7 @@
 //	mipsbench -scale 1 fig5         # full-scale headline grid
 //	mipsbench -models r2-nomad-50 fig8
 //	mipsbench sharding              # item-shard count sweep + per-shard plans
+//	mipsbench churn                 # mutable corpus: dirty-shard vs full rebuild
 package main
 
 import (

@@ -347,3 +347,87 @@ func TestServerOverShardedPlanner(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMutableLifecycleEndToEnd drives the full vertical through the public
+// facade: a planner-built by-norm composite behind the micro-batching
+// server, live item churn through Server.Mutate, dynamic user arrival
+// through Sharded.AddUsers, and the VerifyMutation oracle at every step —
+// the downstream adopter's mutable-corpus smoke test.
+func TestMutableLifecycleEndToEnd(t *testing.T) {
+	cfg, err := DatasetByName("r2-nomad-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateDataset(cfg.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolCfg := cfg.Scale(0.05)
+	poolCfg.Seed += 977
+	pool, err := GenerateDataset(poolCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+
+	sh := NewSharded(ShardedConfig{
+		Shards:      3,
+		Partitioner: ShardByNorm(),
+		Factory:     func() Solver { return NewLEMP(LEMPConfig{Seed: 9}) },
+	})
+	if err := sh.Build(ds.Users, ds.Items); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sh, ServerConfig{MaxBatch: 8, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Churn the catalog through the serving layer.
+	arrivals := pool.Items.RowSlice(0, 6)
+	corpus := ds.Items
+	if err := srv.Mutate(func(m ItemMutator) error {
+		if _, err := m.AddItems(arrivals); err != nil {
+			return err
+		}
+		corpus = AppendMatrixRows(corpus, arrivals)
+		if err := m.RemoveItems([]int{2, 3, corpus.Rows() - 1}); err != nil {
+			return err
+		}
+		corpus = RemoveMatrixRows(corpus, []int{2, 3, corpus.Rows() - 1})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g := srv.Stats().Generation; g != 1 {
+		t.Fatalf("server generation = %d, want 1", g)
+	}
+	if g := sh.Generation(); g != 2 {
+		t.Fatalf("solver generation = %d, want 2", g)
+	}
+	if err := VerifyMutation(sh, NewNaive(), ds.Users, corpus, k, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+
+	// New users arrive; the server answers them exactly (after the swap).
+	users := ds.Users
+	newUsers := pool.Users.RowSlice(0, 4)
+	if err := srv.Mutate(func(ItemMutator) error {
+		_, err := sh.AddUsers(newUsers)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	users = AppendMatrixRows(users, newUsers)
+	res, err := srv.Query(context.Background(), users.Rows()-1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTopK(users.Row(users.Rows()-1), corpus, res, k, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMutation(sh, NewNaive(), users, corpus, k, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

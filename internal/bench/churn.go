@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"optimus/internal/core"
+	"optimus/internal/dataset"
+	"optimus/internal/lemp"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/shard"
+)
+
+// Churn measures the mutable-corpus lifecycle: an interleaved mutate/query
+// workload over the item-sharded executor (by-norm, S=4), comparing the
+// dirty-shard mutation path against the full-rebuild baseline a static
+// solver would need. Each round adds a batch of arrivals (routed to the
+// shards owning their norm ranges), removes an equal batch (keeping the
+// corpus size stable), queries the whole user base, and — for the baseline
+// column — builds a fresh identical composite over the post-mutation corpus.
+// Reported per sub-solver: mean mutate time vs mean full-rebuild time, the
+// rebuild time saved (the headline), and the dirty-shard accounting
+// (patched in place vs rebuilt). Note the workload's removals are random —
+// spread across the norm range — so most rounds dirty several shards; the
+// savings come from each dirty shard being *patched* instead of rebuilt.
+// Norm-localized mutations dirty exactly one shard (pinned by
+// TestDirtyShardIsolation in internal/shard). With -verify the post-churn
+// results are additionally checked against the exactness oracle every
+// round.
+func (r *Runner) Churn() error {
+	const k = 10
+	const shards = 4
+	const rounds = 8
+	r.printf("== Churn: mutable corpus — dirty-shard mutation vs full rebuild (by-norm, S=%d, K=%d, %d rounds) ==\n",
+		shards, k, rounds)
+	for _, name := range r.modelsOrDefault([]string{"r2-nomad-50", "kdd-nomad-50"}) {
+		m, err := r.generate(name)
+		if err != nil {
+			return err
+		}
+		pool, err := r.generateOffset(name, 977) // arrival stream, same f
+		if err != nil {
+			return err
+		}
+		batch := m.Items.Rows() / 100
+		if batch < 1 {
+			batch = 1
+		}
+		if rounds*batch > pool.Items.Rows() {
+			batch = pool.Items.Rows() / rounds
+		}
+		r.printf("%-20s %-8s %8s %9s %9s %10s %8s %12s %8s %8s\n",
+			name, "solver", "add/rm", "mutate", "query", "rebuild", "saved", "dirty/round", "patched", "rebuilt")
+		for _, sub := range []string{"LEMP", "MAXIMUS"} {
+			factory := r.churnFactory(sub)
+			cfg := shard.Config{
+				Shards:      shards,
+				Partitioner: shard.ByNorm(),
+				Threads:     r.opt.Threads,
+				Factory:     factory,
+			}
+			sh := shard.New(cfg)
+			if err := sh.Build(m.Users, m.Items); err != nil {
+				return fmt.Errorf("churn %s: %w", sub, err)
+			}
+			if _, err := sh.QueryAll(k); err != nil { // warm tuning caches
+				return fmt.Errorf("churn %s: %w", sub, err)
+			}
+			corpus := m.Items
+			rng := rand.New(rand.NewSource(r.opt.Seed + 23))
+			var mutate, query, rebuild time.Duration
+			for round := 0; round < rounds; round++ {
+				add := pool.Items.RowSlice(round*batch, (round+1)*batch)
+				remove := rng.Perm(corpus.Rows())[:batch]
+
+				t0 := time.Now()
+				if _, err := sh.AddItems(add); err != nil {
+					return fmt.Errorf("churn %s round %d: %w", sub, round, err)
+				}
+				if err := sh.RemoveItems(remove); err != nil {
+					return fmt.Errorf("churn %s round %d: %w", sub, round, err)
+				}
+				mutate += time.Since(t0)
+				corpus = mat.AppendRows(corpus, add)
+				sorted, err := mips.ValidateRemoveIDs(remove, corpus.Rows())
+				if err != nil {
+					return err
+				}
+				corpus = mat.RemoveRows(corpus, sorted)
+
+				t1 := time.Now()
+				res, err := sh.QueryAll(k)
+				if err != nil {
+					return fmt.Errorf("churn %s round %d: %w", sub, round, err)
+				}
+				query += time.Since(t1)
+				if r.opt.Verify {
+					if err := mips.VerifyAll(m.Users, corpus, res, k, 1e-8); err != nil {
+						return fmt.Errorf("churn %s round %d verification: %w", sub, round, err)
+					}
+				}
+
+				// Full-rebuild baseline: what a static composite pays to
+				// absorb the same mutation.
+				fresh := shard.New(cfg)
+				t2 := time.Now()
+				if err := fresh.Build(m.Users, corpus); err != nil {
+					return fmt.Errorf("churn %s round %d baseline: %w", sub, round, err)
+				}
+				rebuild += time.Since(t2)
+			}
+			st := sh.MutationStats()
+			saved := "n/a"
+			if rebuild > 0 {
+				saved = fmt.Sprintf("%.1f%%", 100*(1-mutate.Seconds()/rebuild.Seconds()))
+			}
+			r.printf("%-20s %-8s %4d/%-3d %7sms %7sms %8sms %8s %12.1f %8d %8d\n",
+				"", sub, batch, batch,
+				ms(mutate/rounds), ms(query/rounds), ms(rebuild/rounds), saved,
+				float64(st.Dirty())/rounds, st.Patches, st.Rebuilds)
+		}
+		r.printf("\n")
+	}
+	return nil
+}
+
+// churnFactory builds the churn experiment's sub-solver factories (the two
+// pruning indexes whose incremental patches the lifecycle targets).
+func (r *Runner) churnFactory(sub string) mips.Factory {
+	if sub == "LEMP" {
+		return func() mips.Solver { return lemp.New(lemp.Config{Threads: r.opt.Threads, Seed: r.opt.Seed + 11}) }
+	}
+	return func() mips.Solver {
+		return core.NewMaximus(core.MaximusConfig{Threads: r.opt.Threads, Seed: r.opt.Seed + 7})
+	}
+}
+
+// generateOffset materializes a registry model with an extra seed offset —
+// an independent draw from the same distribution (the churn experiment's
+// arrival stream).
+func (r *Runner) generateOffset(name string, extra int64) (*dataset.Model, error) {
+	cfg, err := dataset.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.Scale(r.opt.Scale)
+	cfg.Seed += r.opt.Seed + extra
+	return dataset.Generate(cfg)
+}

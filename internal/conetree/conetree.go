@@ -74,6 +74,11 @@ type Index struct {
 	// (mips.ScanCounter); items in pruned subtrees are never scanned.
 	scanned atomic.Int64
 
+	// gen is the mips.ItemMutator mutation stamp; mutations counts churn
+	// since the last (re)build for the rebuild-on-imbalance rule (mutate.go).
+	gen       uint64
+	mutations int
+
 	buildTime time.Duration
 }
 
@@ -149,6 +154,8 @@ func (x *Index) Build(users, items *mat.Matrix) error {
 	}
 	x.root = x.build(0, n)
 	x.scanned.Store(0)
+	x.gen = 0
+	x.mutations = 0
 	x.buildTime = time.Since(start)
 	return nil
 }

@@ -311,3 +311,59 @@ func TestQueryWithFloorsContract(t *testing.T) {
 		t.Fatalf("scan count %d at 3 threads, %d at 1 — must be identical", got, seededScanned)
 	}
 }
+
+// TestRebuildOnImbalance: sustained churn past half the corpus triggers the
+// in-place tree rebuild (the mutation counter resets), leaf inserts split
+// stretched leaves, and exactness holds throughout.
+func TestRebuildOnImbalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const f = 8
+	users := mat.New(40, f)
+	items := mat.New(120, f)
+	for i := range users.Data() {
+		users.Data()[i] = rng.NormFloat64()
+	}
+	for i := range items.Data() {
+		items.Data()[i] = rng.NormFloat64()
+	}
+	x := New(Config{LeafSize: 8})
+	if err := x.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	corpus := items
+	const k = 5
+	sawReset := false
+	for round := 0; round < 12; round++ {
+		add := mat.New(9, f)
+		for i := range add.Data() {
+			add.Data()[i] = rng.NormFloat64() * (1 + float64(round)) // norm drift
+		}
+		before := x.Mutations()
+		if _, err := x.AddItems(add); err != nil {
+			t.Fatal(err)
+		}
+		corpus = mat.AppendRows(corpus, add)
+		rm := []int{rng.Intn(corpus.Rows() - 1)}
+		if err := x.RemoveItems(rm); err != nil {
+			t.Fatal(err)
+		}
+		corpus = mat.RemoveRows(corpus, rm)
+		if x.Mutations() < before {
+			sawReset = true
+		}
+		if err := mips.VerifyMutation(x, New(Config{LeafSize: 8}), users, corpus, k, 1e-9); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if !sawReset {
+		t.Fatal("rebuild-on-imbalance never triggered over 12 churn rounds")
+	}
+	// The permuted id array must still be a permutation of [0, n).
+	seen := make([]bool, corpus.Rows())
+	for _, id := range x.sortedIDs() {
+		if id < 0 || id >= len(seen) || seen[id] {
+			t.Fatalf("ids are not a permutation after churn")
+		}
+		seen[id] = true
+	}
+}

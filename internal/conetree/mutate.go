@@ -1,0 +1,230 @@
+package conetree
+
+import (
+	"fmt"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+)
+
+// Item mutation (the mutable-corpus lifecycle). A cone tree tolerates
+// mutation the way any ball tree does: its node summaries only need to stay
+// *conservative*, not tight.
+//
+//   - AddItems routes each arrival down the tree (angularly closer child
+//     first, the same rule split uses), splices it into the receiving leaf's
+//     contiguous range, and repairs the bounds along the path: ω widens to
+//     cover the new direction and the norm extrema stretch to cover the new
+//     norm, so the node bound in bound() remains a true upper bound for every
+//     member. Centers are left alone — the bound never required the center
+//     to be the mean direction, only that ω covers every member's angle to
+//     it. A leaf stretched past 2×LeafSize is re-split in place.
+//   - RemoveItems compacts the reordered arrays and shrinks every node's
+//     range; summaries are deliberately left stale-outward (a too-wide ω or
+//     too-stretched norm interval can only make bounds looser, never wrong).
+//
+// Repairs are monotone — ω and the norm interval only ever widen — so a
+// heavily churned tree prunes less than a fresh one. The index therefore
+// counts mutations and rebuilds the tree in place (re-split + fresh
+// summaries over the current arrays, skipping Build's input copies) once
+// churn since the last (re)build exceeds half the corpus: the
+// rebuild-on-imbalance rule. Exactness never depends on the trigger; only
+// pruning quality does.
+
+// rebuildChurnFraction: rebuild when mutations since the last (re)build
+// exceed this fraction of the current corpus.
+const rebuildChurnFraction = 0.5
+
+// leafStretchFactor: re-split a leaf grown past this multiple of LeafSize.
+const leafStretchFactor = 2
+
+// AddItems implements mips.ItemMutator (see the contract in internal/mips).
+// The batch is absorbed in one splice: every arrival is first *routed* —
+// descend to a leaf angularly-closer-child-first (the preference the
+// two-pivot split encodes), widening ω and the norm extrema along the path
+// so bounds stay valid — and then the reordered arrays are rebuilt in a
+// single in-order pass that appends each leaf's arrivals to its range.
+// Routing touches only node summaries (never positions), so it commutes
+// with the splice; total cost is O((n+m)·f) plus the routing descents,
+// not the O(m·n·f) that per-item row insertion would pay.
+func (x *Index) AddItems(newItems *mat.Matrix) ([]int, error) {
+	if x.root == nil {
+		return nil, fmt.Errorf("conetree: AddItems before Build")
+	}
+	if err := mips.ValidateAddItems(newItems, x.reordered.Cols()); err != nil {
+		return nil, err
+	}
+	base := len(x.ids)
+	m := newItems.Rows()
+
+	// Route every arrival; collect per-leaf assignment (row order preserved,
+	// so within a leaf the new — largest — ids stay ascending).
+	assigned := make(map[*node][]int)
+	dirs := make([][]float64, m)
+	for r := 0; r < m; r++ {
+		row := newItems.Row(r)
+		dir := append([]float64(nil), row...)
+		if mat.Normalize(dir) == 0 {
+			dir[0] = 1
+		}
+		dirs[r] = dir
+		norm := mat.Norm(row)
+		n := x.root
+		for {
+			// Bound-radius repair: widen ω and stretch the norm interval so
+			// the node bound covers the arrival.
+			if a := mat.Angle(n.center, dir); a > n.omega {
+				n.omega = a
+			}
+			if norm < n.minNorm {
+				n.minNorm = norm
+			}
+			if norm > n.maxNorm {
+				n.maxNorm = norm
+			}
+			if n.left == nil {
+				break
+			}
+			if mat.Angle(dir, n.left.center) <= mat.Angle(dir, n.right.center) {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		assigned[n] = append(assigned[n], r)
+	}
+
+	// One in-order splice: copy each leaf's old rows then its arrivals into
+	// fresh arrays, renumbering every node's range as the walk passes it.
+	f := x.reordered.Cols()
+	reordered := mat.New(base+m, f)
+	newDirs := mat.New(base+m, f)
+	ids := make([]int, 0, base+m)
+	w := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		lo := w
+		if n.left == nil {
+			for s := n.lo; s < n.hi; s++ {
+				copy(reordered.Row(w), x.reordered.Row(s))
+				copy(newDirs.Row(w), x.dirs.Row(s))
+				ids = append(ids, x.ids[s])
+				w++
+			}
+			for _, r := range assigned[n] {
+				copy(reordered.Row(w), newItems.Row(r))
+				copy(newDirs.Row(w), dirs[r])
+				ids = append(ids, base+r)
+				w++
+			}
+		} else {
+			walk(n.left)
+			walk(n.right)
+		}
+		n.lo, n.hi = lo, w
+	}
+	walk(x.root)
+	x.reordered, x.dirs, x.ids = reordered, newDirs, ids
+
+	// Re-split any leaf the batch stretched past the imbalance bound.
+	for leaf := range assigned {
+		if leaf.hi-leaf.lo > leafStretchFactor*x.cfg.LeafSize {
+			x.resplit(leaf)
+		}
+	}
+	x.mutations += m
+	x.maybeRebuild()
+	x.gen++
+	return mips.IDRange(base, m), nil
+}
+
+// RemoveItems implements mips.ItemMutator.
+func (x *Index) RemoveItems(ids []int) error {
+	if x.root == nil {
+		return fmt.Errorf("conetree: RemoveItems before Build")
+	}
+	n := len(x.ids)
+	sorted, err := mips.ValidateRemoveIDs(ids, n)
+	if err != nil {
+		return err
+	}
+	rm := make([]bool, n)
+	for _, id := range sorted {
+		rm[id] = true
+	}
+	// removedBelow[p] = number of removed reordered positions < p, the shift
+	// applied to every node boundary (exclusive his included: positions
+	// removed inside [lo,hi) shrink the range by exactly their count).
+	removedBelow := make([]int, n+1)
+	w := 0
+	for s := 0; s < n; s++ {
+		removedBelow[s+1] = removedBelow[s]
+		if rm[x.ids[s]] {
+			removedBelow[s+1]++
+			continue
+		}
+		if w != s {
+			copy(x.reordered.Row(w), x.reordered.Row(s))
+			copy(x.dirs.Row(w), x.dirs.Row(s))
+		}
+		x.ids[w] = x.ids[s] - mips.RemovedBefore(sorted, x.ids[s])
+		w++
+	}
+	x.ids = x.ids[:w]
+	x.reordered = x.reordered.RowSlice(0, w)
+	x.dirs = x.dirs.RowSlice(0, w)
+	shiftRemove(x.root, removedBelow)
+	x.mutations += len(sorted)
+	x.maybeRebuild()
+	x.gen++
+	return nil
+}
+
+// Generation implements mips.ItemMutator.
+func (x *Index) Generation() uint64 { return x.gen }
+
+// Mutations returns the churn accumulated since the last (re)build — the
+// rebuild-on-imbalance trigger input, exposed for tests and diagnostics.
+func (x *Index) Mutations() int { return x.mutations }
+
+// shiftRemove shrinks node ranges after a compaction; removedBelow is the
+// prefix count over old positions. Ranges may become empty — the search
+// simply scans nothing there until the next rebuild prunes them away.
+func shiftRemove(n *node, removedBelow []int) {
+	if n == nil {
+		return
+	}
+	n.lo -= removedBelow[n.lo]
+	n.hi -= removedBelow[n.hi]
+	shiftRemove(n.left, removedBelow)
+	shiftRemove(n.right, removedBelow)
+}
+
+// resplit re-runs tree construction over one stretched leaf's range,
+// grafting the fresh (tightly summarized) subtree in place of the leaf.
+func (x *Index) resplit(leaf *node) {
+	fresh := x.build(leaf.lo, leaf.hi)
+	*leaf = *fresh
+}
+
+// maybeRebuild applies the rebuild-on-imbalance rule.
+func (x *Index) maybeRebuild() {
+	if float64(x.mutations) > rebuildChurnFraction*float64(len(x.ids)) {
+		x.root = x.build(0, len(x.ids))
+		x.mutations = 0
+	}
+}
+
+// AddUsers implements mips.UserAdder: new user rows join the query matrix;
+// the tree indexes items only.
+func (x *Index) AddUsers(users *mat.Matrix) ([]int, error) {
+	if x.users == nil {
+		return nil, fmt.Errorf("conetree: AddUsers before Build")
+	}
+	if err := mips.ValidateAddUsers(users, x.users.Cols()); err != nil {
+		return nil, err
+	}
+	base := x.users.Rows()
+	x.users = mat.AppendRows(x.users, users)
+	return mips.IDRange(base, users.Rows()), nil
+}

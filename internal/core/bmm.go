@@ -43,6 +43,7 @@ type BMM struct {
 	cfg   BMMConfig
 	users *mat.Matrix
 	items *mat.Matrix
+	gen   uint64 // mips.ItemMutator mutation stamp
 
 	// scanned counts score evaluations (mips.ScanCounter). BMM scores every
 	// (query, item) pair by construction — floors thin the harvest, not the
@@ -105,7 +106,57 @@ func (b *BMM) Build(users, items *mat.Matrix) error {
 	}
 	b.users, b.items = users, items
 	b.scanned.Store(0)
+	b.gen = 0
 	return nil
+}
+
+// AddItems implements mips.ItemMutator. BMM keeps no index, so growing the
+// catalog is a corpus append: the new rows simply join the next GEMM. The
+// grown matrix is a fresh copy — the Build input (which other solvers or
+// shards may alias) is never modified.
+func (b *BMM) AddItems(items *mat.Matrix) ([]int, error) {
+	if b.items == nil {
+		return nil, fmt.Errorf("core: BMM AddItems before Build")
+	}
+	if err := mips.ValidateAddItems(items, b.items.Cols()); err != nil {
+		return nil, err
+	}
+	base := b.items.Rows()
+	b.items = mat.AppendRows(b.items, items)
+	b.gen++
+	return mips.IDRange(base, items.Rows()), nil
+}
+
+// RemoveItems implements mips.ItemMutator: compact the item matrix under the
+// positional id contract (survivors keep relative order, renumbered densely).
+func (b *BMM) RemoveItems(ids []int) error {
+	if b.items == nil {
+		return fmt.Errorf("core: BMM RemoveItems before Build")
+	}
+	sorted, err := mips.ValidateRemoveIDs(ids, b.items.Rows())
+	if err != nil {
+		return err
+	}
+	b.items = mat.RemoveRows(b.items, sorted)
+	b.gen++
+	return nil
+}
+
+// Generation implements mips.ItemMutator.
+func (b *BMM) Generation() uint64 { return b.gen }
+
+// AddUsers implements mips.UserAdder: new user rows join the query matrix;
+// there is no user-side index state to maintain.
+func (b *BMM) AddUsers(users *mat.Matrix) ([]int, error) {
+	if b.users == nil {
+		return nil, fmt.Errorf("core: BMM AddUsers before Build")
+	}
+	if err := mips.ValidateAddUsers(users, b.users.Cols()); err != nil {
+		return nil, err
+	}
+	base := b.users.Rows()
+	b.users = mat.AppendRows(b.users, users)
+	return mips.IDRange(base, users.Rows()), nil
 }
 
 // ScanStats implements mips.ScanCounter (see the scanned field comment).

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"optimus/internal/mat"
+	"optimus/internal/mips"
 	"optimus/internal/topk"
 )
 
@@ -29,12 +31,8 @@ func (m *Maximus) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 	if m.lists == nil {
 		return nil, fmt.Errorf("core: AddUsers before Build")
 	}
-	if newUsers == nil || newUsers.Rows() == 0 {
-		return nil, fmt.Errorf("core: AddUsers with no users")
-	}
-	if newUsers.Cols() != m.users.Cols() {
-		return nil, fmt.Errorf("core: new users have %d factors, index has %d",
-			newUsers.Cols(), m.users.Cols())
+	if err := mips.ValidateAddUsers(newUsers, m.users.Cols()); err != nil {
+		return nil, err
 	}
 
 	base := m.users.Rows()
@@ -156,6 +154,166 @@ func (m *Maximus) resizeBlock(c int) {
 	}
 	m.blocks[c] = m.items.SelectRows(sel)
 	m.memberVecs[c] = m.users.SelectRows(m.members[c])
+}
+
+// Item mutation (the mutable-corpus lifecycle). MAXIMUS's item-side state is
+// exactly what AddUsers already maintains per cluster — the Equation 3 bound
+// list and the shared block — so item churn mirrors that bookkeeping:
+//
+//   - AddItems computes each new item's Equation 3 bound against every
+//     centroid and splices (id, bound) into the cluster's bound-sorted list —
+//     a binary search plus a positional insert, no re-sort. θb is untouched
+//     (item churn cannot widen a user/centroid angle), so existing bounds
+//     stay valid verbatim.
+//   - RemoveItems filters the lists, renumbering surviving ids under the
+//     compaction contract (the renumbering is monotone, so the bound-then-id
+//     sort order is preserved without comparisons).
+//   - A cluster's shared block is re-selected only when the mutation touched
+//     its blocked prefix — the first BlockSizes()[c] list positions; its
+//     length is kept (block sizing is a Build-time cost decision, not a
+//     correctness input).
+//
+// The expensive Build stages — k-means, the |C|×|I| centroid GEMM, the full
+// list sorts, the sampled walk lengths — are all skipped.
+
+// AddItems implements mips.ItemMutator (see the contract in internal/mips).
+// Each cluster absorbs the batch with one merge pass — arrivals sorted by
+// (bound desc, id asc), then spliced against the already-sorted list — so a
+// batch of m costs O(n+m) element moves per cluster, not the O(m·n) that
+// per-item insertion would pay.
+func (m *Maximus) AddItems(newItems *mat.Matrix) ([]int, error) {
+	if m.lists == nil {
+		return nil, fmt.Errorf("core: AddItems before Build")
+	}
+	if err := mips.ValidateAddItems(newItems, m.items.Cols()); err != nil {
+		return nil, err
+	}
+	base := m.items.Rows()
+	add := newItems.Rows()
+	m.items = mat.AppendRows(m.items, newItems)
+	newNorms := newItems.RowNorms()
+	order := make([]int, add)
+	bnds := make([]float64, add)
+	for c := range m.lists {
+		crow := m.centroids.Row(c)
+		cnorm := mat.Norm(crow)
+		for r := 0; r < add; r++ {
+			bnds[r] = CBound(mat.Dot(crow, newItems.Row(r)), cnorm, newNorms[r], m.thetaB[c])
+			order[r] = r
+		}
+		sort.SliceStable(order, func(a, b int) bool { return bnds[order[a]] > bnds[order[b]] })
+
+		// Merge old with sorted arrivals; on a bound tie the old entry goes
+		// first (every arrival's id exceeds every existing id) and tied
+		// arrivals keep row order — the order sortClusterList produces.
+		n := len(m.lists[c])
+		list := make([]int32, 0, n+add)
+		bounds := make([]float64, 0, n+add)
+		blockLen := 0
+		if m.blocks[c] != nil {
+			blockLen = m.blocks[c].Rows()
+		}
+		touchedBlock := false
+		i, j := 0, 0
+		for w := 0; w < n+add; w++ {
+			if i < n && (j >= add || m.bounds[c][i] >= bnds[order[j]]) {
+				list = append(list, m.lists[c][i])
+				bounds = append(bounds, m.bounds[c][i])
+				i++
+				continue
+			}
+			list = append(list, int32(base+order[j]))
+			bounds = append(bounds, bnds[order[j]])
+			if w < blockLen {
+				touchedBlock = true
+			}
+			j++
+		}
+		m.lists[c], m.bounds[c] = list, bounds
+		if touchedBlock {
+			m.reselectBlock(c, blockLen)
+		}
+	}
+	m.gen++
+	return mips.IDRange(base, add), nil
+}
+
+// RemoveItems implements mips.ItemMutator.
+func (m *Maximus) RemoveItems(ids []int) error {
+	if m.lists == nil {
+		return fmt.Errorf("core: RemoveItems before Build")
+	}
+	n := m.items.Rows()
+	sorted, err := mips.ValidateRemoveIDs(ids, n)
+	if err != nil {
+		return err
+	}
+	// shift[i] = how far surviving id i moves down; rm marks the dropped.
+	rm := make([]bool, n)
+	for _, id := range sorted {
+		rm[id] = true
+	}
+	shift := make([]int32, n)
+	var removed int32
+	for i := 0; i < n; i++ {
+		shift[i] = removed
+		if rm[i] {
+			removed++
+		}
+	}
+	m.items = mat.RemoveRows(m.items, sorted)
+	for c := range m.lists {
+		blockLen := 0
+		if m.blocks[c] != nil {
+			blockLen = m.blocks[c].Rows()
+		}
+		touchedBlock := false
+		list, bounds := m.lists[c], m.bounds[c]
+		w := 0
+		for pos, id := range list {
+			if rm[id] {
+				if pos < blockLen {
+					touchedBlock = true
+				}
+				continue
+			}
+			list[w] = id - shift[id]
+			bounds[w] = bounds[pos]
+			w++
+		}
+		m.lists[c], m.bounds[c] = list[:w], bounds[:w]
+		if blockLen > w {
+			blockLen = w
+			touchedBlock = true
+		}
+		if touchedBlock {
+			m.reselectBlock(c, blockLen)
+		}
+	}
+	m.gen++
+	return nil
+}
+
+// Generation implements mips.ItemMutator.
+func (m *Maximus) Generation() uint64 { return m.gen }
+
+// reselectBlock refreshes cluster c's shared block to cover the first
+// blockLen entries of its (just-mutated) list, keeping the Build-time block
+// length. blockLen <= 0 drops the block (the cluster walks unblocked).
+func (m *Maximus) reselectBlock(c, blockLen int) {
+	if blockLen <= 0 {
+		m.blocks[c] = nil
+		m.memberVecs[c] = nil
+		return
+	}
+	sel := make([]int, blockLen)
+	for p := 0; p < blockLen; p++ {
+		sel[p] = int(m.lists[c][p])
+	}
+	m.blocks[c] = m.items.SelectRows(sel)
+	if m.memberVecs[c] == nil && len(m.members[c]) > 0 {
+		m.memberVecs[c] = m.users.SelectRows(m.members[c])
+	}
 }
 
 // Users returns the current user count (grows with AddUsers).

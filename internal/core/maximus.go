@@ -111,6 +111,9 @@ type Maximus struct {
 	// list positions scored, blocked prefix included.
 	scanned atomic.Int64
 
+	// gen is the mips.ItemMutator mutation stamp (see dynamic.go).
+	gen uint64
+
 	timings MaximusTimings
 }
 
@@ -205,6 +208,7 @@ func (m *Maximus) Build(users, items *mat.Matrix) error {
 	m.estimateBlocks()
 	m.timings.CostEstimation = time.Since(t2)
 	m.scanned.Store(0)
+	m.gen = 0
 	return nil
 }
 

@@ -84,6 +84,16 @@ type Index struct {
 	f int // latent factors
 	h int // partial-dot split
 
+	// Retained Build inputs and rotation, for the mutable-corpus lifecycle:
+	// item mutation falls back to a rebuild over the retained corpus (every
+	// index structure here — the rotation itself, the quantization scales,
+	// the reduction shifts — is a whole-corpus artifact, so FEXIPRO has no
+	// cheap patch), while user arrival is incremental through the stored
+	// eigenbasis. gen is the mips.ItemMutator mutation stamp.
+	users, items *mat.Matrix
+	eig          *svd.Eigen
+	gen          uint64
+
 	// Items in descending-norm order.
 	ids      []int       // sorted position -> original item id
 	norms    []float64   // ‖i‖, non-increasing
@@ -160,13 +170,20 @@ func (x *Index) Build(users, items *mat.Matrix) error {
 		return err
 	}
 	f := items.Cols()
-	x.f = f
 
-	// Rotation from the item Gram spectrum.
+	// Rotation from the item Gram spectrum. Decompose is the only fallible
+	// step below; no receiver state may be written before it succeeds, or a
+	// failed Build — and therefore a failed AddItems/RemoveItems rebuild,
+	// which routes through Build — would strand a half-updated index,
+	// breaking the ItemMutator error-atomicity contract.
 	eig, err := svd.Decompose(svd.Gram(items))
 	if err != nil {
 		return fmt.Errorf("fexipro: eigendecomposition: %w", err)
 	}
+	x.f = f
+	x.users, x.items = users, items
+	x.gen = 0
+	x.eig = eig
 	var total float64
 	for _, v := range eig.Values {
 		if v > 0 {
@@ -314,6 +331,24 @@ func quantize(m *mat.Matrix, scale float64) ([]int32, []float64) {
 
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
+	return x.query(userIDs, k, nil)
+}
+
+// QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
+// seeded with its floor, so the whole bound cascade — the norm-sorted walk
+// break, the integer bound, the SVD partial bound — prunes against the floor
+// from the very first candidate instead of waiting for the heap to fill.
+// FEXIPRO's sequential-scan prune has the same threshold structure as
+// LEMP's, so the identical seeding applies. Results honor the floor contract
+// (see mips.ThresholdQuerier).
+func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloors(userIDs, floors); err != nil {
+		return nil, err
+	}
+	return x.query(userIDs, k, floors)
+}
+
+func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
 	if x.tItems == nil {
 		return nil, fmt.Errorf("fexipro: Query before Build")
 	}
@@ -327,7 +362,11 @@ func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
 			if u < 0 || u >= x.tUsers.Rows() {
 				return fmt.Errorf("fexipro: user id %d out of range [0,%d)", u, x.tUsers.Rows())
 			}
-			out[qi] = x.queryOne(u, k)
+			floor := math.Inf(-1)
+			if floors != nil {
+				floor = floors[qi]
+			}
+			out[qi] = x.queryOne(u, k, floor)
 		}
 		return nil
 	}
@@ -345,7 +384,10 @@ func (x *Index) QueryAll(k int) ([][]topk.Entry, error) {
 	return x.Query(mips.AllUserIDs(x.tUsers.Rows()), k)
 }
 
-func (x *Index) queryOne(u, k int) []topk.Entry {
+// queryOne answers one user's top-k, pruning against floor (-Inf = none)
+// from the first candidate: a seeded heap reports its floor as the threshold
+// before it fills, so every `full` guard below fires immediately.
+func (x *Index) queryOne(u, k int, floor float64) []topk.Entry {
 	f := x.f
 	tu := x.tUsers.Row(u)
 	tuHead := tu[:x.h]
@@ -357,7 +399,7 @@ func (x *Index) queryOne(u, k int) []topk.Entry {
 	qnU := x.qUNorm[u]
 	sir := x.cfg.Variant == SIR
 
-	h := topk.New(k)
+	h := topk.NewSeeded(k, floor)
 	n := x.tItems.Rows()
 	for s := 0; s < n; s++ {
 		thr, full := h.Threshold()

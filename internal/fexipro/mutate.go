@@ -1,0 +1,105 @@
+package fexipro
+
+import (
+	"fmt"
+	"math"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+)
+
+// Item mutation (the mutable-corpus lifecycle). FEXIPRO is the one index in
+// the repository with no incremental patch: its rotation is the eigenbasis
+// of the *item* Gram matrix, its quantization scales are per-matrix maxima,
+// and the SIR shifts are per-coordinate item minima — every one a
+// whole-corpus artifact that a single arrival can invalidate. The ItemMutator
+// implementation therefore falls back to a rebuild over the retained,
+// mutated corpus: correct, contract-complete, and honest about cost (the
+// shard layer's dirty-shard routing confines the rebuild to the owning
+// shard; the churn benchmark reports it as the no-patch baseline).
+
+// AddItems implements mips.ItemMutator by rebuilding over the appended
+// corpus (see the package's mutation note above).
+func (x *Index) AddItems(items *mat.Matrix) ([]int, error) {
+	if x.tItems == nil {
+		return nil, fmt.Errorf("fexipro: AddItems before Build")
+	}
+	if err := mips.ValidateAddItems(items, x.f); err != nil {
+		return nil, err
+	}
+	base := x.items.Rows()
+	gen := x.gen
+	if err := x.Build(x.users, mat.AppendRows(x.items, items)); err != nil {
+		return nil, err
+	}
+	x.gen = gen + 1
+	return mips.IDRange(base, items.Rows()), nil
+}
+
+// RemoveItems implements mips.ItemMutator by rebuilding over the compacted
+// corpus.
+func (x *Index) RemoveItems(ids []int) error {
+	if x.tItems == nil {
+		return fmt.Errorf("fexipro: RemoveItems before Build")
+	}
+	sorted, err := mips.ValidateRemoveIDs(ids, x.items.Rows())
+	if err != nil {
+		return err
+	}
+	gen := x.gen
+	if err := x.Build(x.users, mat.RemoveRows(x.items, sorted)); err != nil {
+		return err
+	}
+	x.gen = gen + 1
+	return nil
+}
+
+// Generation implements mips.ItemMutator.
+func (x *Index) Generation() uint64 { return x.gen }
+
+// AddUsers implements mips.UserAdder, incrementally: new users are rotated
+// through the stored eigenbasis and quantized at the Build-time user scale.
+// A fresh Build might pick a different scale (it is the matrix max), but the
+// integer bound carries each row's exact quantization error at whatever
+// scale quantized it, so the bound — and therefore exactness — holds at any
+// scale; only bound tightness could differ.
+func (x *Index) AddUsers(users *mat.Matrix) ([]int, error) {
+	if x.tUsers == nil {
+		return nil, fmt.Errorf("fexipro: AddUsers before Build")
+	}
+	if err := mips.ValidateAddUsers(users, x.f); err != nil {
+		return nil, err
+	}
+	base := x.tUsers.Rows()
+	tNew := x.eig.TransformMatrix(users)
+	qNew, errNew := quantize(tNew, x.scaleU)
+	for u := 0; u < users.Rows(); u++ {
+		q := qNew[u*x.f : (u+1)*x.f]
+		var ss float64
+		for _, v := range q {
+			fv := float64(v) / x.scaleU
+			ss += fv * fv
+		}
+		x.qUNorm = append(x.qUNorm, math.Sqrt(ss))
+	}
+	x.tUsers = mat.AppendRows(x.tUsers, tNew)
+	x.qUsers = append(x.qUsers, qNew...)
+	x.userErr = append(x.userErr, errNew...)
+	x.userNorm = append(x.userNorm, users.RowNorms()...)
+	if x.cfg.Variant == SIR {
+		for u := 0; u < users.Rows(); u++ {
+			row := tNew.Row(u)
+			var c, mp float64
+			for j := x.h; j < x.f; j++ {
+				c += row[j] * x.shift[j]
+				if row[j] > mp {
+					mp = row[j]
+				}
+			}
+			x.uTailC = append(x.uTailC, c)
+			x.uMaxPos = append(x.uMaxPos, mp)
+		}
+	}
+	x.users = mat.AppendRows(x.users, users)
+	return mips.IDRange(base, users.Rows()), nil
+}

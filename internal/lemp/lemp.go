@@ -114,6 +114,9 @@ type Index struct {
 	// tuning-sample walks are measurement overhead and are not counted.
 	scanned atomic.Int64
 
+	// gen is the mips.ItemMutator mutation stamp (see mutate section below).
+	gen uint64
+
 	buildTime time.Duration
 }
 
@@ -204,6 +207,126 @@ func (x *Index) Build(users, items *mat.Matrix) error {
 		x.suffix2[s] = mat.Norm(row[x.cp2:])
 	}
 
+	x.recutBuckets()
+	x.scanned.Store(0)
+	x.gen = 0
+	x.buildTime = time.Since(start)
+	return nil
+}
+
+// Item mutation (the mutable-corpus lifecycle). LEMP's whole structure is
+// "items in descending-norm order, cut into buckets" — precisely the shape
+// that is cheap to patch: a new item belongs at one position found by binary
+// search on its norm, a removed item leaves a gap the compaction closes, and
+// in both cases the suffix-norm tables of untouched items stay valid
+// verbatim (they are item-intrinsic). What a fresh Build would redo and a
+// mutation skips: the O(n log n) re-sort and the O(n·f) suffix-norm pass over
+// the whole catalog. Bucket boundaries are re-cut (O(n/BucketSize)) and the
+// per-k algorithm tunings dropped — they are performance adaptations
+// re-measured lazily on the next query, never a correctness input.
+
+// AddItems implements mips.ItemMutator (see the contract in internal/mips):
+// merge the new items into the norm-sorted arrays at their sorted positions.
+func (x *Index) AddItems(newItems *mat.Matrix) ([]int, error) {
+	if x.sorted == nil {
+		return nil, fmt.Errorf("lemp: AddItems before Build")
+	}
+	if err := mips.ValidateAddItems(newItems, x.sorted.Cols()); err != nil {
+		return nil, err
+	}
+	n, m, f := x.sorted.Rows(), newItems.Rows(), x.sorted.Cols()
+	base := n
+
+	// Order the arrivals by (norm desc, id asc) — their ids are [base,
+	// base+m) in row order, so ties among arrivals keep row order.
+	addNorms := newItems.RowNorms()
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return addNorms[order[a]] > addNorms[order[b]] })
+
+	// One-pass merge of the old sorted arrays with the sorted arrivals. On a
+	// norm tie the old item goes first: every arrival's id exceeds every
+	// existing id, matching Build's (norm desc, id asc) sort exactly.
+	merged := mat.New(n+m, f)
+	ids := make([]int, n+m)
+	norms := make([]float64, n+m)
+	suffix1 := make([]float64, n+m)
+	suffix2 := make([]float64, n+m)
+	i, j := 0, 0
+	for w := 0; w < n+m; w++ {
+		takeOld := i < n && (j >= m || x.norms[i] >= addNorms[order[j]])
+		if takeOld {
+			copy(merged.Row(w), x.sorted.Row(i))
+			ids[w], norms[w] = x.ids[i], x.norms[i]
+			suffix1[w], suffix2[w] = x.suffix1[i], x.suffix2[i]
+			i++
+			continue
+		}
+		r := order[j]
+		row := newItems.Row(r)
+		copy(merged.Row(w), row)
+		ids[w], norms[w] = base+r, addNorms[r]
+		suffix1[w] = mat.Norm(row[x.cp1:])
+		suffix2[w] = mat.Norm(row[x.cp2:])
+		j++
+	}
+	x.sorted, x.ids, x.norms, x.suffix1, x.suffix2 = merged, ids, norms, suffix1, suffix2
+	x.recutBuckets()
+	x.gen++
+	return mips.IDRange(base, m), nil
+}
+
+// RemoveItems implements mips.ItemMutator: drop the tombstoned rows from the
+// sorted arrays and renumber survivors under the compaction contract (the
+// renumbering is monotone, so the norm-then-id order is preserved).
+func (x *Index) RemoveItems(removeIDs []int) error {
+	if x.sorted == nil {
+		return fmt.Errorf("lemp: RemoveItems before Build")
+	}
+	n := x.sorted.Rows()
+	sorted, err := mips.ValidateRemoveIDs(removeIDs, n)
+	if err != nil {
+		return err
+	}
+	rm := make([]bool, n)
+	for _, id := range sorted {
+		rm[id] = true
+	}
+	w := 0
+	for s := 0; s < n; s++ {
+		if rm[x.ids[s]] {
+			continue
+		}
+		if w != s {
+			copy(x.sorted.Row(w), x.sorted.Row(s))
+		}
+		x.ids[w] = x.ids[s] - mips.RemovedBefore(sorted, x.ids[s])
+		x.norms[w] = x.norms[s]
+		x.suffix1[w] = x.suffix1[s]
+		x.suffix2[w] = x.suffix2[s]
+		w++
+	}
+	x.sorted = x.sorted.RowSlice(0, w)
+	x.ids = x.ids[:w]
+	x.norms = x.norms[:w]
+	x.suffix1 = x.suffix1[:w]
+	x.suffix2 = x.suffix2[:w]
+	x.recutBuckets()
+	x.gen++
+	return nil
+}
+
+// Generation implements mips.ItemMutator.
+func (x *Index) Generation() uint64 { return x.gen }
+
+// recutBuckets (re)cuts the cardinality-balanced buckets over the current
+// sorted order and resets the per-k algorithm tunings — shared by Build and
+// by both mutations (after a splice the bucket boundaries moved, so the old
+// timings no longer describe these buckets; tunings re-measure lazily).
+func (x *Index) recutBuckets() {
+	n := x.sorted.Rows()
 	x.buckets = x.buckets[:0]
 	for lo := 0; lo < n; lo += x.cfg.BucketSize {
 		hi := lo + x.cfg.BucketSize
@@ -212,10 +335,25 @@ func (x *Index) Build(users, items *mat.Matrix) error {
 		}
 		x.buckets = append(x.buckets, bucket{lo: lo, hi: hi, maxNorm: x.norms[lo]})
 	}
+	x.mu.Lock()
 	x.tunings = make(map[int]*tuning)
-	x.scanned.Store(0)
-	x.buildTime = time.Since(start)
-	return nil
+	x.mu.Unlock()
+}
+
+// AddUsers implements mips.UserAdder: new user rows join the query matrix.
+// The index is item-side only, so no structure maintenance is needed; the
+// per-k tunings stay (they remain valid algorithm choices — tuning is an
+// adaptation, not a correctness input).
+func (x *Index) AddUsers(users *mat.Matrix) ([]int, error) {
+	if x.users == nil {
+		return nil, fmt.Errorf("lemp: AddUsers before Build")
+	}
+	if err := mips.ValidateAddUsers(users, x.users.Cols()); err != nil {
+		return nil, err
+	}
+	base := x.users.Rows()
+	x.users = mat.AppendRows(x.users, users)
+	return mips.IDRange(base, users.Rows()), nil
 }
 
 // ScanStats implements mips.ScanCounter: candidates evaluated by the

@@ -116,6 +116,59 @@ func (m *Matrix) SelectRows(idx []int) *Matrix {
 	return out
 }
 
+// AppendRows returns a new matrix holding a's rows followed by b's rows.
+// Neither input is modified or aliased — the result owns fresh backing
+// storage — which is what the mutable-corpus lifecycle requires: a solver
+// growing its item matrix must not disturb callers (or sibling shards)
+// still aliasing the original rows. Panics if the column counts differ.
+func AppendRows(a, b *Matrix) *Matrix {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: append %d columns to %d", b.cols, a.cols))
+	}
+	out := New(a.rows+b.rows, a.cols)
+	copy(out.data, a.data)
+	copy(out.data[len(a.data):], b.data)
+	return out
+}
+
+// RemoveRows returns a new matrix with the listed rows deleted; the
+// remaining rows keep their relative order (the compaction step of the
+// mutable-corpus id contract: surviving row i becomes row i − |{removed
+// ids < i}|). ids must be sorted ascending and duplicate-free, and every id
+// must be in range — the caller validates (see mips.ValidateRemoveIDs).
+// The input matrix is not modified or aliased.
+func RemoveRows(m *Matrix, ids []int) *Matrix {
+	out := New(m.rows-len(ids), m.cols)
+	next := 0 // index into ids of the next row to drop
+	w := 0
+	for i := 0; i < m.rows; i++ {
+		if next < len(ids) && ids[next] == i {
+			next++
+			continue
+		}
+		copy(out.Row(w), m.Row(i))
+		w++
+	}
+	return out
+}
+
+// InsertRow returns a new matrix with row inserted at position pos (existing
+// rows at pos and beyond shift down by one). The input is not modified or
+// aliased. Panics if pos is out of [0, rows] or the row length mismatches.
+func (m *Matrix) InsertRow(pos int, row []float64) *Matrix {
+	if pos < 0 || pos > m.rows {
+		panic(fmt.Sprintf("mat: insert position %d out of range [0,%d]", pos, m.rows))
+	}
+	if len(row) != m.cols {
+		panic(fmt.Sprintf("mat: insert row has %d columns, want %d", len(row), m.cols))
+	}
+	out := New(m.rows+1, m.cols)
+	copy(out.data, m.data[:pos*m.cols])
+	copy(out.Row(pos), row)
+	copy(out.data[(pos+1)*m.cols:], m.data[pos*m.cols:])
+	return out
+}
+
 // Transpose returns a new cols×rows matrix with m's data transposed.
 func (m *Matrix) Transpose() *Matrix {
 	t := New(m.cols, m.rows)

@@ -374,3 +374,52 @@ func TestReadCSVVariants(t *testing.T) {
 		t.Fatal("expected parse error")
 	}
 }
+
+func TestAppendRemoveInsertRows(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	b, _ := FromRows([][]float64{{7, 8}})
+
+	ap := AppendRows(a, b)
+	if ap.Rows() != 4 || ap.At(3, 1) != 8 || ap.At(0, 0) != 1 {
+		t.Fatalf("AppendRows: %+v", ap.Data())
+	}
+	// Fresh backing: mutating the result must not touch the inputs.
+	ap.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("AppendRows aliased its input")
+	}
+
+	rm := RemoveRows(ap, []int{0, 2})
+	want, _ := FromRows([][]float64{{3, 4}, {7, 8}})
+	if !rm.Equal(want, 0) {
+		t.Fatalf("RemoveRows: %+v", rm.Data())
+	}
+
+	ins := a.InsertRow(1, []float64{9, 10})
+	want2, _ := FromRows([][]float64{{1, 2}, {9, 10}, {3, 4}, {5, 6}})
+	if !ins.Equal(want2, 0) {
+		t.Fatalf("InsertRow middle: %+v", ins.Data())
+	}
+	if !a.InsertRow(3, []float64{9, 10}).RowSlice(3, 4).Equal(want2.RowSlice(1, 2), 0) {
+		t.Fatal("InsertRow at end")
+	}
+	if !a.InsertRow(0, []float64{9, 10}).RowSlice(0, 1).Equal(want2.RowSlice(1, 2), 0) {
+		t.Fatal("InsertRow at start")
+	}
+
+	for _, fn := range []func(){
+		func() { AppendRows(a, New(1, 3)) },
+		func() { a.InsertRow(-1, []float64{1, 2}) },
+		func() { a.InsertRow(4, []float64{1, 2}) },
+		func() { a.InsertRow(0, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on shape violation")
+				}
+			}()
+			fn()
+		}()
+	}
+}

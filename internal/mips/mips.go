@@ -173,6 +173,7 @@ func ValidateK(k, numItems int) error {
 // It is the correctness oracle for every other solver.
 type Naive struct {
 	users, items *mat.Matrix
+	gen          uint64 // ItemMutator mutation stamp (see mutate.go)
 }
 
 // NewNaive returns an unbuilt naive solver.
@@ -206,6 +207,7 @@ func (n *Naive) Build(users, items *mat.Matrix) error {
 		return err
 	}
 	n.users, n.items = users, items
+	n.gen = 0
 	return nil
 }
 

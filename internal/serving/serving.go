@@ -13,6 +13,13 @@
 // and BMM amortizes its GEMM — so throughput under concurrent load far
 // exceeds one-at-a-time serving while each request still sees bounded
 // latency.
+//
+// Servers over mutable solvers (mips.ItemMutator) additionally support
+// online catalog churn: Mutate applies AddItems/RemoveItems under a
+// single-writer/drain handshake — the in-flight batch finishes against the
+// old index, the mutation lands exclusively, the next batch serves the new
+// generation — and Stats.Generation tells clients when their cached
+// positional item ids went stale.
 package serving
 
 import (
@@ -52,6 +59,11 @@ type Stats struct {
 	Batches int64
 	// MeanBatchSize is Requests/Batches.
 	MeanBatchSize float64
+	// Generation counts successful Mutate calls — the serving-side catalog
+	// version. A client caching item-id translations compares generations to
+	// detect that the positional ids it holds predate a catalog swap (see
+	// the mips.ItemMutator compaction contract).
+	Generation uint64
 }
 
 type request struct {
@@ -80,10 +92,19 @@ type Server struct {
 	// already drained and exited, and wait forever.
 	inflight sync.WaitGroup
 
-	mu       sync.Mutex
-	requests int64
-	batches  int64
-	closed   bool
+	// solverMu is the generation-swap handshake: every batch dispatch holds
+	// the read side for its whole solver interaction, Mutate holds the write
+	// side. Acquiring the write lock therefore *drains* — it waits for the
+	// in-flight batch to finish against the old index and holds off the next
+	// batch until the mutation lands. Requests arriving meanwhile simply
+	// queue (bounded by QueueDepth); none are dropped.
+	solverMu sync.RWMutex
+
+	mu         sync.Mutex
+	requests   int64
+	batches    int64
+	generation uint64
+	closed     bool
 }
 
 // ErrClosed is returned by Query after Close.
@@ -151,11 +172,55 @@ func (s *Server) Query(ctx context.Context, userID, k int) ([]topk.Entry, error)
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Requests: s.requests, Batches: s.batches}
+	st := Stats{Requests: s.requests, Batches: s.batches, Generation: s.generation}
 	if s.batches > 0 {
 		st.MeanBatchSize = float64(s.requests) / float64(s.batches)
 	}
 	return st
+}
+
+// ErrNotMutable is returned by Mutate when the underlying solver does not
+// implement mips.ItemMutator.
+var ErrNotMutable = errors.New("serving: solver does not support item mutation")
+
+// Mutate applies a catalog mutation to the underlying solver with the
+// single-writer/drain handshake: the in-flight batch (if any) finishes
+// against the old index, fn runs exclusively — no query observes a
+// half-applied mutation — and the next batch serves the new generation.
+// Queries arriving during the swap queue as usual. fn receives the solver
+// as a mips.ItemMutator and typically calls AddItems/RemoveItems (possibly
+// several times; the whole fn is one atomic swap from the server's
+// perspective, and one Stats.Generation tick). fn may also perform other
+// maintenance that must not run concurrently with queries — e.g. a
+// mips.UserAdder's AddUsers on the same solver. fn must NOT call this
+// server's Query (directly or transitively): the dispatcher is blocked on
+// the solver lock for the duration of fn, so such a query can never be
+// answered and the server deadlocks — query the solver directly inside fn
+// if a post-mutation sanity check is needed. Mutate returns fn's error
+// unchanged, and the server's generation does not advance on failure. Per
+// the ItemMutator contract a rejected mutation left the index unchanged, so
+// serving continues safely; the narrow exception is a mid-mutation *solver
+// bug* (see the solver's own mutation docs), after which the server should
+// be replaced along with its solver. Writers are serialized; Mutate may be
+// called from any goroutine, including after Close (the drain is then
+// trivially empty).
+func (s *Server) Mutate(fn func(mips.ItemMutator) error) error {
+	mut, ok := s.solver.(mips.ItemMutator)
+	if !ok {
+		return fmt.Errorf("%w (%s)", ErrNotMutable, s.solver.Name())
+	}
+	s.solverMu.Lock()
+	err := fn(mut)
+	if err == nil {
+		// Advance the generation before releasing the write lock: no batch
+		// may be answered from the new catalog while Stats still reports
+		// the old generation, or the client staleness protocol breaks.
+		s.mu.Lock()
+		s.generation++
+		s.mu.Unlock()
+	}
+	s.solverMu.Unlock()
+	return err
 }
 
 // Close rejects new queries, waits for in-flight ones to be answered, and
@@ -225,8 +290,12 @@ func (s *Server) drain() {
 }
 
 // dispatch groups a batch by k (the solver API takes one k per call) and
-// executes each group with a single Query.
+// executes each group with a single Query. It holds the solver read lock
+// throughout, so the whole batch — retries included — answers against one
+// catalog generation (see Mutate).
 func (s *Server) dispatch(batch []request) {
+	s.solverMu.RLock()
+	defer s.solverMu.RUnlock()
 	byK := make(map[int][]request)
 	for _, req := range batch {
 		byK[req.k] = append(byK[req.k], req)

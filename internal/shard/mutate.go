@@ -1,0 +1,332 @@
+// Mutable-corpus support for the item-sharded executor: the dirty-shard
+// discipline. A mutation is routed to the shard(s) that own the affected
+// norm range (ByNorm) or the catalog tail (order-based partitions); only
+// those shards are touched — patched in place when their sub-solver
+// implements mips.ItemMutator, rebuilt (and, under a Planner, *re-planned*:
+// the index-vs-scan decision is retaken for the shard's new data
+// distribution, reusing the planner's amortized shared measurement) when it
+// does not. Clean shards keep their built indexes untouched: removals
+// renumber their id maps arithmetically — the compaction shift is monotone,
+// so per-shard id maps stay ascending and shard-local tie-breaks keep
+// agreeing with global ones — and their sub-matrices continue aliasing the
+// pre-mutation corpus rows, which mutation never modifies (every corpus
+// update allocates fresh backing; see mat.AppendRows/RemoveRows).
+//
+// Routing invariant. Under ByNorm, Build records each shard's minimum
+// member norm as a fixed cutoff; an arrival goes to the first shard whose
+// cutoff its norm meets (the tail shard if none). Adds therefore never sink
+// below their shard's floor and removals only raise a shard's true minimum,
+// so the head-to-tail invariant HeadFirst promises — every norm in shard s
+// >= every norm in shard s+1 — survives arbitrary churn, and the two-wave
+// floor-seeded query keeps its certificate. An item whose norm falls in an
+// interior shard's range migrates into *that* shard (not the corpus tail),
+// dirtying exactly one partition.
+package shard
+
+import (
+	"fmt"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+)
+
+// MutationStats accounts for the dirty-shard discipline: how many shards a
+// mutation actually touched, and how (incremental patch vs full
+// rebuild/re-plan). The churn benchmark reports these alongside the
+// rebuild-time savings.
+type MutationStats struct {
+	// Mutations counts successful AddItems/RemoveItems calls.
+	Mutations int
+	// Patches counts sub-solvers mutated in place (mips.ItemMutator).
+	Patches int
+	// Rebuilds counts sub-solvers rebuilt or re-planned (a dead shard's
+	// revival included).
+	Rebuilds int
+	// Emptied counts shards whose entire membership was removed (the
+	// sub-solver is discarded; the shard sits dead until revived).
+	Emptied int
+}
+
+// Dirty returns the cumulative dirty-shard count: every shard a mutation
+// touched (patched + rebuilt + emptied).
+func (m MutationStats) Dirty() int { return m.Patches + m.Rebuilds + m.Emptied }
+
+// MutationStats returns the cumulative mutation accounting (zero after
+// Build).
+func (s *Sharded) MutationStats() MutationStats { return s.mstats }
+
+// Generation implements mips.ItemMutator.
+func (s *Sharded) Generation() uint64 { return s.gen }
+
+// stagedShard is one dirty shard's prepared mutation, held aside until every
+// fallible step has succeeded — the stage/commit split that keeps composite
+// mutations atomic: validation failures and rebuild/re-plan failures return
+// with the composite untouched. The one remaining hazard is a patch-path
+// sub-solver failure at commit time; inputs were already validated, so that
+// can only mean a solver bug, and it is fatal to the instance.
+type stagedShard struct {
+	si     int
+	newIDs []int      // the shard's post-mutation id map
+	st     shardState // rebuild path: the fully built replacement state
+	// patchRows (AddItems) / patchLocal (RemoveItems): non-nil selects the
+	// patch-at-commit path instead of committing st.
+	patchRows  []int
+	patchLocal []int
+	rebuild    bool
+	dead       bool
+}
+
+// AddItems implements mips.ItemMutator: append to the global corpus, route
+// each arrival to its owning shard, and touch only the dirty shards (see
+// the package comment on the discipline). Assigned ids are [n, n+m).
+func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
+	if s.shards == nil {
+		return nil, fmt.Errorf("shard: AddItems before Build")
+	}
+	if err := mips.ValidateAddItems(newItems, s.items.Cols()); err != nil {
+		return nil, err
+	}
+	base := s.items.Rows()
+	m := newItems.Rows()
+
+	// Route: by norm cutoff under a head-first partition, to the last shard
+	// under order-based partitions (appended ids extend the corpus tail).
+	perShard := make([][]int, len(s.shards)) // arrival rows per shard
+	if s.normFloor != nil {
+		norms := newItems.RowNorms()
+		for r := 0; r < m; r++ {
+			si := len(s.shards) - 1
+			for i, floor := range s.normFloor {
+				if norms[r] >= floor {
+					si = i
+					break
+				}
+			}
+			perShard[si] = append(perShard[si], r)
+		}
+	} else {
+		perShard[len(s.shards)-1] = mips.IDRange(0, m)
+	}
+
+	s.materializeIDs()
+	items := mat.AppendRows(s.items, newItems)
+
+	// Stage: all fallible work (sub-solver builds, planner re-plans) runs on
+	// shard-state copies; the composite commits only if every stage lands.
+	var stages []stagedShard
+	for si, rows := range perShard {
+		if len(rows) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		// Arrival rows are in ascending r, so the new global ids append to
+		// the shard's id map in ascending order — the tie-break invariant.
+		newIDs := make([]int, 0, len(sh.ids)+len(rows))
+		newIDs = append(newIDs, sh.ids...)
+		for _, r := range rows {
+			newIDs = append(newIDs, base+r)
+		}
+		if _, patchable := sh.solver.(mips.ItemMutator); patchable && sh.count > 0 && s.cfg.Planner == nil {
+			stages = append(stages, stagedShard{si: si, newIDs: newIDs, patchRows: rows})
+			continue
+		}
+		// Rebuild (or re-plan) the dirty shard over its new membership. A
+		// planner re-plan retakes the §IV decision for the shard's new
+		// distribution, reusing the shared measurement's user sample and
+		// baseline rate; an emptied-then-revived shard also lands here.
+		tmp := *sh
+		tmp.ids, tmp.count = newIDs, len(newIDs)
+		if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs)); err != nil {
+			return nil, err
+		}
+		stages = append(stages, stagedShard{si: si, st: tmp, rebuild: true})
+	}
+
+	// Commit.
+	for _, g := range stages {
+		sh := &s.shards[g.si]
+		if g.rebuild {
+			*sh = g.st
+			s.mstats.Rebuilds++
+			continue
+		}
+		ids, err := sh.solver.(mips.ItemMutator).AddItems(newItems.SelectRows(g.patchRows))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): %w", g.si, sh.plan, err)
+		}
+		if len(ids) != len(g.patchRows) || ids[0] != sh.count {
+			return nil, fmt.Errorf("shard %d (%s): sub-solver assigned ids %v, want [%d,%d)",
+				g.si, sh.plan, ids, sh.count, sh.count+len(g.patchRows))
+		}
+		sh.ids, sh.count = g.newIDs, len(g.newIDs)
+		s.mstats.Patches++
+	}
+	s.items = items
+	s.gen++
+	s.mstats.Mutations++
+	s.refreshComposite()
+	return mips.IDRange(base, m), nil
+}
+
+// RemoveItems implements mips.ItemMutator: compact the global corpus and
+// touch only the shards that owned removed items. Clean shards' id maps are
+// renumbered arithmetically; their indexes are not rebuilt. Like AddItems,
+// all fallible work is staged and committed only once it has all succeeded.
+func (s *Sharded) RemoveItems(ids []int) error {
+	if s.shards == nil {
+		return fmt.Errorf("shard: RemoveItems before Build")
+	}
+	sorted, err := mips.ValidateRemoveIDs(ids, s.items.Rows())
+	if err != nil {
+		return err
+	}
+	s.materializeIDs()
+	items := mat.RemoveRows(s.items, sorted)
+
+	// Stage: compute every shard's post-removal id map and build the
+	// replacements for shards taking the rebuild path.
+	var stages []stagedShard
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if sh.count == 0 {
+			continue
+		}
+		// Walk the shard's ascending id map against the ascending removal
+		// list: collect local removal positions, renumber survivors.
+		var local []int
+		newIDs := make([]int, 0, len(sh.ids))
+		next := 0
+		for pos, id := range sh.ids {
+			for next < len(sorted) && sorted[next] < id {
+				next++
+			}
+			if next < len(sorted) && sorted[next] == id {
+				local = append(local, pos)
+				continue
+			}
+			newIDs = append(newIDs, id-next) // next == |removed ids < id|
+		}
+		g := stagedShard{si: si, newIDs: newIDs, patchLocal: local}
+		switch {
+		case len(local) == 0:
+			// Clean shard: arithmetic renumber only, index untouched.
+		case len(newIDs) == 0:
+			// The shard lost its whole membership: it goes dead (skipped by
+			// the query fan-out) until an arrival revives it.
+			g.dead = true
+		default:
+			if _, patchable := sh.solver.(mips.ItemMutator); !patchable || s.cfg.Planner != nil {
+				tmp := *sh
+				tmp.ids, tmp.count = newIDs, len(newIDs)
+				if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs)); err != nil {
+					return err
+				}
+				g.st, g.rebuild, g.patchLocal = tmp, true, nil
+			}
+		}
+		stages = append(stages, g)
+	}
+
+	// Commit.
+	for _, g := range stages {
+		sh := &s.shards[g.si]
+		switch {
+		case g.dead:
+			sh.solver, sh.ids, sh.count = nil, nil, 0
+			s.mstats.Emptied++
+		case g.rebuild:
+			*sh = g.st
+			s.mstats.Rebuilds++
+		case len(g.patchLocal) > 0:
+			if err := sh.solver.(mips.ItemMutator).RemoveItems(g.patchLocal); err != nil {
+				return fmt.Errorf("shard %d (%s): %w", g.si, sh.plan, err)
+			}
+			sh.ids, sh.count = g.newIDs, len(g.newIDs)
+			s.mstats.Patches++
+		default:
+			sh.ids = g.newIDs // clean renumber
+		}
+	}
+	s.items = items
+	s.gen++
+	s.mstats.Mutations++
+	s.refreshComposite()
+	return nil
+}
+
+// AddUsers implements mips.UserAdder by broadcasting the arrivals to every
+// live shard's sub-solver (each maintains its own per-shard user state —
+// MAXIMUS its θb bookkeeping, the others their query matrices) and growing
+// the composite's user matrix. Every live sub-solver must implement
+// mips.UserAdder; the capability — and the input shape — is checked up
+// front so an unsupported configuration fails before any shard changes.
+// The broadcast itself cannot be staged (sub-solvers absorb users in
+// place), so a mid-broadcast sub-solver failure is fatal to the instance:
+// earlier shards have already grown their user space. With the
+// repository's solvers the inputs are fully validated before the first
+// broadcast call, so that path is reachable only through a custom
+// sub-solver bug.
+func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
+	if s.shards == nil {
+		return nil, fmt.Errorf("shard: AddUsers before Build")
+	}
+	if err := mips.ValidateAddUsers(newUsers, s.users.Cols()); err != nil {
+		return nil, err
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if sh.count == 0 {
+			continue
+		}
+		if _, ok := sh.solver.(mips.UserAdder); !ok {
+			return nil, fmt.Errorf("shard %d (%s): sub-solver does not support AddUsers", si, sh.plan)
+		}
+	}
+	base := s.users.Rows()
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if sh.count == 0 {
+			continue
+		}
+		ids, err := sh.solver.(mips.UserAdder).AddUsers(newUsers)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
+		}
+		if len(ids) != newUsers.Rows() || ids[0] != base {
+			return nil, fmt.Errorf("shard %d (%s): sub-solver assigned user ids %v, want [%d,%d)",
+				si, sh.plan, ids, base, base+newUsers.Rows())
+		}
+	}
+	s.users = mat.AppendRows(s.users, newUsers)
+	return mips.IDRange(base, newUsers.Rows()), nil
+}
+
+// materializeIDs expands contiguous-range shard representations into
+// explicit id maps, the form every mutation path renumbers. (The zero-copy
+// contiguity of an untouched shard's *sub-matrix* is unaffected — that
+// aliasing was fixed at its last build.)
+func (s *Sharded) materializeIDs() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.ids == nil && sh.count > 0 {
+			sh.ids = identityRange(sh.base, sh.base+sh.count)
+			sh.base = 0
+		}
+	}
+}
+
+// subMatrix selects a shard's member rows from the corpus, aliasing instead
+// of copying when the membership is one consecutive run.
+func subMatrix(items *mat.Matrix, ids []int) *mat.Matrix {
+	if base, ok := contiguousRange(ids); ok {
+		return items.RowSlice(base, base+len(ids))
+	}
+	return items.SelectRows(ids)
+}
+
+// The composite is itself a mutable corpus (and a user adder), so mutation
+// composes across layers exactly like floor seeding does.
+var (
+	_ mips.ItemMutator = (*Sharded)(nil)
+	_ mips.UserAdder   = (*Sharded)(nil)
+)

@@ -184,6 +184,7 @@ type shardState struct {
 	ids    []int  // ascending global item ids; nil when contiguous
 	base   int    // first global id when contiguous
 	count  int    // number of items in the shard
+	builds int    // sub-solver builds/plans (1 after Build; mutation rebuilds add)
 }
 
 // globalID maps a shard-local item id back to the corpus id space.
@@ -207,10 +208,21 @@ type Sharded struct {
 	items        *mat.Matrix
 	shards       []shardState
 	batches      bool
-	// twoWave records the Build-time decision to propagate thresholds: the
-	// partitioner is head-first, floor seeding is enabled, there is a tail
-	// to seed, and every tail sub-solver accepts floors.
+	// twoWave records the decision to propagate thresholds: the partitioner
+	// is head-first, floor seeding is enabled, there is a tail to seed, and
+	// every (live) tail sub-solver accepts floors. Re-evaluated after every
+	// mutation (a re-plan can change a tail solver's capabilities).
 	twoWave bool
+
+	// Mutable-corpus state (mutate.go). headFirst caches the partitioner
+	// marker; normFloor[i] is shard i's minimum item norm at Build, the
+	// fixed routing cutoffs that keep the head-to-tail invariant under item
+	// arrival; gen is the mips.ItemMutator stamp; mstats the mutation
+	// accounting the churn benchmark reports.
+	headFirst bool
+	normFloor []float64
+	gen       uint64
+	mstats    MutationStats
 }
 
 // New returns an unbuilt Sharded solver. Zero-valued config fields fall
@@ -278,12 +290,16 @@ func (s *Sharded) SetThreads(n int) {
 	}
 }
 
-// Plans reports, per shard, the item count and the strategy serving it —
-// how the per-shard OPTIMUS decision came out. Empty before Build.
+// Plans reports, per shard, the item count, the strategy serving it — how
+// the per-shard OPTIMUS decision came out — and how many times the shard's
+// sub-solver has been built or re-planned. Empty before Build. Builds is the
+// dirty-shard-isolation regression handle: after a mutation confined to one
+// shard's norm range, exactly that shard's Builds advances (and only if the
+// mutation took the rebuild/re-plan path rather than an incremental patch).
 func (s *Sharded) Plans() []Plan {
 	out := make([]Plan, len(s.shards))
 	for i := range s.shards {
-		out[i] = Plan{Items: s.shards[i].count, Solver: s.shards[i].plan}
+		out[i] = Plan{Items: s.shards[i].count, Solver: s.shards[i].plan, Builds: s.shards[i].builds}
 	}
 	return out
 }
@@ -294,6 +310,9 @@ type Plan struct {
 	Items int
 	// Solver is the name of the strategy built for the shard.
 	Solver string
+	// Builds counts sub-solver builds/plans: 1 after Build, +1 per mutation
+	// that rebuilt (rather than patched) the shard.
+	Builds int
 }
 
 // Build implements mips.Solver: partition the items, then build one
@@ -336,30 +355,7 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 		}
 	}
 
-	build := func(i int) error {
-		if s.cfg.Planner != nil {
-			solver, plan, err := s.cfg.Planner.Plan(users, subItems[i])
-			if err != nil {
-				return fmt.Errorf("shard %d: planning: %w", i, err)
-			}
-			shards[i].solver, shards[i].plan = solver, plan
-		} else {
-			solver := s.cfg.Factory()
-			if solver == nil {
-				return fmt.Errorf("shard %d: factory returned nil solver", i)
-			}
-			if err := solver.Build(users, subItems[i]); err != nil {
-				return fmt.Errorf("shard %d: building %s: %w", i, solver.Name(), err)
-			}
-			shards[i].solver, shards[i].plan = solver, solver.Name()
-		}
-		// The composite's thread setting governs the sub-solvers too, as
-		// Config.Threads documents.
-		if ts, ok := shards[i].solver.(mips.ThreadSetter); ok {
-			ts.SetThreads(s.cfg.Threads)
-		}
-		return nil
-	}
+	build := func(i int) error { return s.buildShard(&shards[i], i, users, subItems[i]) }
 	var err error
 	if s.cfg.Planner != nil {
 		// Align the planner's measurements to the parallelism the shards
@@ -388,25 +384,97 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 	}
 
 	s.users, s.items, s.shards = users, items, shards
+	hf, ok := s.cfg.Partitioner.(HeadFirst)
+	s.headFirst = ok && hf.HeadFirst()
+	if s.headFirst {
+		// Fixed routing cutoffs for item arrival (mutate.go): shard i's
+		// minimum member norm at Build. Routing an arrival to the first
+		// shard whose floor its norm meets preserves the head-to-tail
+		// invariant forever — adds never sink below their shard's floor,
+		// removals only raise a shard's true minimum.
+		norms := items.RowNorms()
+		s.normFloor = make([]float64, len(shards))
+		for i, ids := range parts {
+			mn := math.Inf(1)
+			for _, id := range ids {
+				if norms[id] < mn {
+					mn = norms[id]
+				}
+			}
+			s.normFloor[i] = mn
+		}
+	} else {
+		s.normFloor = nil
+	}
+	s.gen = 0
+	s.mstats = MutationStats{}
+	s.refreshComposite()
+	return nil
+}
+
+// buildShard (re)builds one shard's sub-solver over the given sub-matrix —
+// via the Planner when configured, the Factory otherwise — forwards the
+// composite's thread setting, and advances the shard's build counter. It is
+// the shared path under Build (every shard) and mutation (dirty shards
+// only).
+func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix) error {
+	if s.cfg.Planner != nil {
+		solver, plan, err := s.cfg.Planner.Plan(users, subItems)
+		if err != nil {
+			return fmt.Errorf("shard %d: planning: %w", i, err)
+		}
+		sh.solver, sh.plan = solver, plan
+	} else {
+		solver := s.cfg.Factory()
+		if solver == nil {
+			return fmt.Errorf("shard %d: factory returned nil solver", i)
+		}
+		if err := solver.Build(users, subItems); err != nil {
+			return fmt.Errorf("shard %d: building %s: %w", i, solver.Name(), err)
+		}
+		sh.solver, sh.plan = solver, solver.Name()
+	}
+	// The composite's thread setting governs the sub-solvers too, as
+	// Config.Threads documents.
+	if ts, ok := sh.solver.(mips.ThreadSetter); ok {
+		ts.SetThreads(s.cfg.Threads)
+	}
+	sh.builds++
+	return nil
+}
+
+// refreshComposite re-derives the cached composite properties — Batches and
+// the two-wave decision — from the current shard set. Called by Build and
+// after every mutation. Dead shards (emptied by removals) are skipped; a
+// dead head shard disables the two-wave path (there is nothing to harvest
+// floors from).
+func (s *Sharded) refreshComposite() {
+	shards := s.shards
 	s.batches = false
 	for i := range shards {
-		if shards[i].solver.Batches() {
+		if shards[i].count > 0 && shards[i].solver.Batches() {
 			s.batches = true
 			break
 		}
 	}
 	s.twoWave = false
-	if hf, ok := s.cfg.Partitioner.(HeadFirst); ok && hf.HeadFirst() &&
-		!s.cfg.DisableFloorSeeding && len(shards) > 1 {
+	if s.headFirst && !s.cfg.DisableFloorSeeding && len(shards) > 1 && shards[0].count > 0 {
+		live := 0
 		s.twoWave = true
 		for i := 1; i < len(shards); i++ {
+			if shards[i].count == 0 {
+				continue
+			}
+			live++
 			if _, ok := shards[i].solver.(mips.ThresholdQuerier); !ok {
 				s.twoWave = false
 				break
 			}
 		}
+		if live == 0 {
+			s.twoWave = false
+		}
 	}
-	return nil
 }
 
 // TwoWave reports whether Build enabled the two-wave floor-seeded query
@@ -548,6 +616,12 @@ const mergeGrain = 64
 // ignore the bound.
 func (s *Sharded) queryShard(si int, userIDs []int, k int, floors []float64, partials [][][]topk.Entry) error {
 	sh := &s.shards[si]
+	if sh.count == 0 {
+		// A shard emptied by removals holds nothing to answer; its nil rows
+		// merge as empty lists.
+		partials[si] = make([][]topk.Entry, len(userIDs))
+		return nil
+	}
 	kq := k
 	if kq > sh.count {
 		kq = sh.count

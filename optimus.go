@@ -82,9 +82,50 @@ type Solver = mips.Solver
 // queries: QueryWithFloors(userIDs, k, floors) prunes each user's search
 // against a caller-known lower bound on their global k-th score, returning
 // a prefix of the unseeded result (every entry at or above the floor,
-// identically ranked). BMM, MAXIMUS, LEMP, the cone tree, and Sharded all
-// implement it; the sharded two-wave query path is built on it.
+// identically ranked). BMM, MAXIMUS, LEMP, FEXIPRO, the cone tree, and
+// Sharded all implement it; the sharded two-wave query path is built on it.
 type ThresholdQuerier = mips.ThresholdQuerier
+
+// ItemMutator is the optional Solver refinement for mutable item corpora —
+// the build/mutate lifecycle. AddItems appends items (ids [n, n+m) are
+// returned), RemoveItems deletes and compacts (survivors keep relative
+// order, renumbered densely), and Generation stamps the catalog version.
+// After any interleaving of mutations, query results are entry-for-entry
+// identical to a fresh Build over the mutated corpus. Every solver
+// implements it: BMM and Naive append/compact, MAXIMUS patches its bound
+// lists and shared blocks, LEMP splices its norm-sorted buckets, the cone
+// tree inserts at leaves with bound repair (rebuilding on imbalance), and
+// FEXIPRO falls back to a rebuild. Sharded routes mutations to the owning
+// shards only — see NewSharded. Mutation must be serialized against
+// in-flight queries; Server.Mutate does this for online deployments.
+type ItemMutator = mips.ItemMutator
+
+// UserAdder is the optional Solver refinement for dynamic user arrival
+// (§III-E): AddUsers appends user vectors (ids [n, n+m) are returned) while
+// queries stay exact for old and new users. Every solver implements it —
+// MAXIMUS with the paper's assign-to-nearest-centroid path plus θb
+// maintenance, the others by growing their query-side state — and Sharded
+// broadcasts arrivals to every shard.
+type UserAdder = mips.UserAdder
+
+// VerifyMutation is the mutable-corpus oracle: it checks that the mutated
+// solver answers entry-for-entry like `fresh` (an unbuilt solver of
+// comparable configuration) built from scratch over the mutated corpus, and
+// that the results pass the independent exactness check. items must be the
+// corpus after the same mutations (see AppendMatrixRows/RemoveMatrixRows).
+func VerifyMutation(mutated, fresh Solver, users, items *Matrix, k int, tol float64) error {
+	return mips.VerifyMutation(mutated, fresh, users, items, k, tol)
+}
+
+// AppendMatrixRows returns a new matrix holding a's rows followed by b's —
+// the reference bookkeeping for an AddItems/AddUsers call (neither input is
+// modified or aliased).
+func AppendMatrixRows(a, b *Matrix) *Matrix { return mat.AppendRows(a, b) }
+
+// RemoveMatrixRows returns a new matrix with the listed rows deleted and the
+// survivors compacted in order — the reference bookkeeping for a
+// RemoveItems call. ids must be valid, sorted, and duplicate-free.
+func RemoveMatrixRows(m *Matrix, ids []int) *Matrix { return mat.RemoveRows(m, ids) }
 
 // ScanStats counts the item candidates a solver evaluated — the
 // deterministic pruning-effectiveness metric the sharding benchmark reports
@@ -211,10 +252,24 @@ type ShardedConfig = shard.Config
 // ShardedConfig.DisableFloorSeeding to force the blind single-wave fan-out.
 type Sharded = shard.Sharded
 
-// ShardPlan describes one shard's item count and chosen strategy.
+// ShardPlan describes one shard's item count, chosen strategy, and build
+// count (the dirty-shard rebuild accounting).
 type ShardPlan = shard.Plan
 
+// ShardMutationStats accounts for the dirty-shard mutation discipline:
+// mutations applied, shards patched in place, shards rebuilt/re-planned.
+type ShardMutationStats = shard.MutationStats
+
 // NewSharded returns an unbuilt item-sharded composite solver.
+//
+// The composite is itself an ItemMutator: AddItems routes each arrival to
+// the shard owning its norm range (ByNorm; order-based partitions extend
+// the tail shard) and RemoveItems compacts only the owning shards — dirty
+// shards are patched in place when the sub-solver mutates, rebuilt (and
+// under NewShardPlanner re-planned, reusing the amortized shared
+// measurement) when it does not, while clean shards keep their indexes
+// untouched. Plans exposes per-shard build counts and MutationStats the
+// patch/rebuild totals.
 func NewSharded(cfg ShardedConfig) *Sharded { return shard.New(cfg) }
 
 // ShardContiguous returns the default partitioner: equal consecutive item
@@ -246,7 +301,15 @@ type Server = serving.Server
 // ErrServerClosed is returned by Server.Query after Close.
 var ErrServerClosed = serving.ErrClosed
 
+// ErrServerNotMutable is returned by Server.Mutate when the underlying
+// solver does not implement ItemMutator.
+var ErrServerNotMutable = serving.ErrNotMutable
+
 // NewServer starts a micro-batching server around an already-built solver.
+// When the solver is an ItemMutator, Server.Mutate applies catalog churn
+// with the generation-safe drain handshake: the in-flight batch finishes
+// against the old index, the mutation lands exclusively, and
+// Stats.Generation advances.
 func NewServer(solver Solver, cfg ServerConfig) (*Server, error) {
 	return serving.New(solver, cfg)
 }
