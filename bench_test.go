@@ -15,6 +15,7 @@ import (
 	"optimus/internal/fexipro"
 	"optimus/internal/lemp"
 	"optimus/internal/mips"
+	"optimus/internal/mutlog"
 	"optimus/internal/shard"
 )
 
@@ -303,14 +304,21 @@ func benchModelSeed(b *testing.B, name string, extra int64) *dataset.Model {
 // BenchmarkChurn — the mutable-corpus lifecycle on the by-norm sharded
 // executor: each op is one churn round (add a batch, remove a batch spread
 // across the norm range, serve the whole user base). The dirty-shard mode
-// mutates in place; the full-rebuild mode pays a fresh composite Build over
-// the mutated corpus — the static-solver baseline the lifecycle replaces,
-// which by definition reconstructs all S sub-solvers every round. The
-// wall-clock delta between the modes is the rebuild time saved; dirty mode
-// additionally reports dirty-shards/op, the deterministic count of
-// sub-solver mutations per round (an add and a remove each dirty up to S
-// shards under this deliberately spread workload; a norm-localized
-// mutation dirties one — see TestDirtyShardIsolation). Compare with
+// mutates in place, one AddItems + one RemoveItems per round — PR 4's
+// per-event baseline; the full-rebuild mode pays a fresh composite Build
+// over the mutated corpus — the static-solver baseline the lifecycle
+// replaces, which by definition reconstructs all S sub-solvers every round;
+// the batched-F* modes enqueue the same events on a mutation log
+// (internal/mutlog) and flush every F rounds, so one apply — one drain
+// behind a serving layer, at most one AddItems + one RemoveItems against
+// the composite — absorbs F rounds of events. The wall-clock delta between
+// dirty-shard and full-rebuild is the rebuild time saved; dirty-shard and
+// batched modes additionally report the deterministic amortization
+// counters the noisy-runner-proof acceptance reads: dirty-shards/op,
+// gen-ticks/event (composite Generation advances per applied mutation; the
+// log divides it by F), and drains/event for batched modes (log flushes per
+// catalog event — strictly fewer drains than events). An event is one
+// catalog row added or removed (2·batch per round). Compare with
 //
 //	go test -bench=Churn -run=^$ -count=5 | benchstat
 func BenchmarkChurn(b *testing.B) {
@@ -322,8 +330,9 @@ func BenchmarkChurn(b *testing.B) {
 	if batch < 1 {
 		batch = 1
 	}
+	flushEvery := map[string]int{"batched-F4": 4, "batched-F16": 16}
 	for _, solver := range []string{"LEMP", "MAXIMUS"} {
-		for _, mode := range []string{"dirty-shard", "full-rebuild"} {
+		for _, mode := range []string{"dirty-shard", "full-rebuild", "batched-F4", "batched-F16"} {
 			b.Run(fmt.Sprintf("%s/S=%d/%s", solver, shards, mode), func(b *testing.B) {
 				solver := solver
 				cfg := shard.Config{
@@ -337,6 +346,16 @@ func BenchmarkChurn(b *testing.B) {
 				}
 				if _, err := s.QueryAll(k); err != nil { // warm tuning caches
 					b.Fatal(err)
+				}
+				var log *mutlog.Log
+				if F := flushEvery[mode]; F > 0 {
+					applier, err := mutlog.Direct(s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if log, err = mutlog.New(applier, mutlog.Config{MaxEvents: -1, MaxDelay: -1}); err != nil {
+						b.Fatal(err)
+					}
 				}
 				corpus := m.Items
 				next := 0
@@ -360,7 +379,8 @@ func BenchmarkChurn(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if mode == "dirty-shard" {
+					switch {
+					case mode == "dirty-shard":
 						if _, err := s.AddItems(add); err != nil {
 							b.Fatal(err)
 						}
@@ -368,7 +388,23 @@ func BenchmarkChurn(b *testing.B) {
 							b.Fatal(err)
 						}
 						corpus = RemoveMatrixRows(AppendMatrixRows(corpus, add), sorted)
-					} else {
+					case log != nil:
+						// The log sees the identical event stream; rm ids are
+						// virtual-corpus ids, which the bookkeeping below
+						// keeps numerically equal to the dirty-shard mode's.
+						if _, err := log.Add(add); err != nil {
+							b.Fatal(err)
+						}
+						if err := log.Remove(sorted); err != nil {
+							b.Fatal(err)
+						}
+						corpus = RemoveMatrixRows(AppendMatrixRows(corpus, add), sorted)
+						if (i+1)%flushEvery[mode] == 0 {
+							if err := log.Flush(); err != nil {
+								b.Fatal(err)
+							}
+						}
+					default: // full-rebuild
 						corpus = RemoveMatrixRows(AppendMatrixRows(corpus, add), sorted)
 						s = shard.New(cfg)
 						if err := s.Build(m.Users, corpus); err != nil {
@@ -381,10 +417,18 @@ func BenchmarkChurn(b *testing.B) {
 				}
 				b.StopTimer()
 				rounds := float64(b.N)
+				events := rounds * float64(2*batch)
 				b.ReportMetric(rounds/b.Elapsed().Seconds(), "rounds/s")
-				if mode == "dirty-shard" {
+				if log != nil {
+					if err := log.Close(); err != nil { // final partial batch
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(log.Stats().Flushes)/events, "drains/event")
+				}
+				if mode != "full-rebuild" {
 					st := s.MutationStats()
 					b.ReportMetric(float64(st.Dirty())/rounds, "dirty-shards/op")
+					b.ReportMetric(float64(s.Generation())/events, "gen-ticks/event")
 				}
 			})
 		}

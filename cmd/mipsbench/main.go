@@ -18,6 +18,7 @@
 //	mipsbench -models r2-nomad-50 fig8
 //	mipsbench sharding              # item-shard count sweep + per-shard plans
 //	mipsbench churn                 # mutable corpus: dirty-shard vs full rebuild
+//	                                # + batched mutation-log events/flush sweep
 package main
 
 import (

@@ -7,15 +7,19 @@
 //
 // Part 2 goes where the paper stops: real catalogs churn *items* too. The
 // same model is served online through a norm-sharded composite behind the
-// micro-batching Server, and the catalog is mutated live with Server.Mutate
-// — arrivals routed to the shard owning their norm range, retirements
-// compacted out — under the generation-safe drain handshake: in-flight
+// micro-batching Server, and the catalog is mutated live through the
+// server's batched mutation log (Server.Log) — arrivals enqueue with
+// provisional handles, retirements enqueue against the virtual corpus, a
+// flash-sale item added and withdrawn before the flush annihilates in the
+// log without ever touching the index — and one flush applies the whole
+// coalesced batch under a single generation-safe drain handshake: in-flight
 // batches finish against the old index, the next batch serves the new
-// generation. Only the dirty shards are touched — here MAXIMUS patches its
-// bound lists in place, so confinement shows in the MutationStats "patched"
-// count while every Builds stays at 1 (Builds advances only when a shard
-// must be rebuilt or re-planned) — and post-churn answers are verified
-// exact against a fresh build.
+// generation, and the handles resolve to the real assigned ids. Only the
+// dirty shards are touched — here MAXIMUS patches its bound lists in
+// place, so confinement shows in the MutationStats "patched" count while
+// every Builds stays at 1 (Builds advances only when a shard must be
+// rebuilt or re-planned) — and post-churn answers are verified exact
+// against a fresh build.
 //
 // Run with: go run ./examples/onlineusers
 package main
@@ -83,9 +87,10 @@ func main() {
 	itemChurn(ds)
 }
 
-// itemChurn is part 2: live catalog mutation through the serving layer.
+// itemChurn is part 2: live catalog mutation through the serving layer's
+// batched mutation log.
 func itemChurn(ds *optimus.Dataset) {
-	fmt.Println("\nitem churn through the serving layer (mutable-corpus lifecycle):")
+	fmt.Println("\nitem churn through the serving layer (batched mutation log):")
 
 	// A norm-sharded composite: arrivals route to the shard owning their
 	// norm range, so a mutation dirties one shard, not the catalog.
@@ -105,9 +110,17 @@ func itemChurn(ds *optimus.Dataset) {
 	}
 	defer srv.Close()
 
-	// The catalog mutates while the server keeps answering: retire the
-	// current best-seller of user 0 and ship three new items (clones of
-	// existing vectors, norm-spread so they land in different shards).
+	// The catalog mutates while the server keeps answering, through the
+	// batched mutation log: retire the current best-seller of user 0, ship
+	// three new items (clones of existing vectors, norm-spread so they land
+	// in different shards), and stage a flash-sale item that is withdrawn
+	// before it ever serves. Explicit-flush config for the demo; production
+	// deployments set MaxEvents/MaxDelay and let the background flusher
+	// bound staleness.
+	mlog, err := srv.Log(optimus.MutationLogConfig{MaxEvents: -1, MaxDelay: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	before, err := srv.Query(context.Background(), 0, k)
 	if err != nil {
 		log.Fatal(err)
@@ -115,27 +128,45 @@ func itemChurn(ds *optimus.Dataset) {
 	retired := before[0].Item
 	arrivals := ds.Items.SelectRows([]int{retired, ds.Items.Rows() / 2, ds.Items.Rows() - 1})
 
-	corpus := ds.Items
-	if err := srv.Mutate(func(m optimus.ItemMutator) error {
-		ids, err := m.AddItems(arrivals)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  added items %v, retiring item %d (user 0's former #1)\n", ids, retired)
-		corpus = optimus.AppendMatrixRows(corpus, arrivals)
-		if err := m.RemoveItems([]int{retired}); err != nil {
-			return err
-		}
-		corpus = optimus.RemoveMatrixRows(corpus, []int{retired})
-		return nil
-	}); err != nil {
+	handles, err := mlog.Add(arrivals)
+	if err != nil {
 		log.Fatal(err)
 	}
+	if err := mlog.Remove([]int{retired}); err != nil {
+		log.Fatal(err)
+	}
+	flash, err := mlog.Add(ds.Items.RowSlice(0, 1)) // flash sale...
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mlog.Cancel(flash[0]); err != nil { // ...withdrawn pre-flush
+		log.Fatal(err)
+	}
+	fmt.Printf("  enqueued: +3 arrivals, -item %d (user 0's former #1), +1 flash sale (cancelled)\n", retired)
+	fmt.Printf("  pending %d events (the cancelled pair already annihilated); serving generation %d\n",
+		srv.Stats().LogPending, srv.Stats().Generation)
+
+	// One flush: one drain, one generation tick, at most one AddItems + one
+	// RemoveItems against the composite — for the whole event batch.
+	if err := mlog.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	corpus := optimus.RemoveMatrixRows(optimus.AppendMatrixRows(ds.Items, arrivals), []int{retired})
+	ids := make([]int, len(handles))
+	for i, h := range handles {
+		id, ok := mlog.Resolve(h)
+		if !ok {
+			log.Fatalf("arrival handle %d did not resolve", h)
+		}
+		ids[i] = id
+	}
+	fmt.Printf("  flushed: arrivals resolved to item ids %v\n", ids)
 
 	st := srv.Stats()
 	mstats := sharded.MutationStats()
-	fmt.Printf("  serving generation %d; %d mutations touched %d dirty shard(s) (%d patched, %d rebuilt)\n",
-		st.Generation, mstats.Mutations, mstats.Dirty(), mstats.Patches, mstats.Rebuilds)
+	fmt.Printf("  serving generation %d after 1 flush (%d events applied, %d drains); %d mutations touched %d dirty shard(s) (%d patched, %d rebuilt)\n",
+		st.Generation, st.LogFlushedEvents, st.LogFlushes,
+		mstats.Mutations, mstats.Dirty(), mstats.Patches, mstats.Rebuilds)
 	for si, p := range sharded.Plans() {
 		fmt.Printf("  shard %d: %4d items, %s, built %dx\n", si, p.Items, p.Solver, p.Builds)
 	}

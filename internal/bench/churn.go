@@ -10,6 +10,7 @@ import (
 	"optimus/internal/lemp"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/mutlog"
 	"optimus/internal/shard"
 )
 
@@ -121,7 +122,114 @@ func (r *Runner) Churn() error {
 				ms(mutate/rounds), ms(query/rounds), ms(rebuild/rounds), saved,
 				float64(st.Dirty())/rounds, st.Patches, st.Rebuilds)
 		}
+		if err := r.churnBatched(m.Users, m.Items, pool.Items, batch); err != nil {
+			return err
+		}
 		r.printf("\n")
+	}
+	return nil
+}
+
+// churnBatched is the mutation-log sweep: the same per-round event stream
+// (batch adds + batch removes, 2·batch events per round) enqueued on an
+// internal/mutlog log over the by-norm MAXIMUS composite, flushed every F
+// rounds. "direct" is PR 4's per-event baseline — AddItems/RemoveItems
+// straight into the composite, one apply (= one drain behind a serving
+// layer) per mutation. The amortization columns are deterministic: applies
+// counts trips through the writer serialization boundary, gen-ticks the
+// composite's mutation stamp — both divided by F under the log — while
+// ms/event is the wall-clock writer cost including flushes.
+func (r *Runner) churnBatched(users, items, pool *mat.Matrix, batch int) error {
+	const rounds = 16
+	if rounds*batch > pool.Rows() {
+		batch = pool.Rows() / rounds
+		if batch < 1 {
+			return nil
+		}
+	}
+	r.printf("%-20s %-8s %12s %8s %10s %10s %12s\n",
+		"  batched (MAXIMUS)", "mode", "events/flush", "applies", "gen-ticks", "ms/event", "dirty/round")
+	for _, F := range []int{0, 1, 4, 16} { // 0 = direct per-event baseline
+		sh := shard.New(shard.Config{
+			Shards:      4,
+			Partitioner: shard.ByNorm(),
+			Threads:     r.opt.Threads,
+			Factory:     r.churnFactory("MAXIMUS"),
+		})
+		if err := sh.Build(users, items); err != nil {
+			return fmt.Errorf("churn batched F=%d: %w", F, err)
+		}
+		var log *mutlog.Log
+		if F > 0 {
+			applier, err := mutlog.Direct(sh)
+			if err != nil {
+				return err
+			}
+			if log, err = mutlog.New(applier, mutlog.Config{MaxEvents: -1, MaxDelay: -1}); err != nil {
+				return err
+			}
+		}
+		corpus := items
+		rng := rand.New(rand.NewSource(r.opt.Seed + 29))
+		applies := 0
+		var mutate time.Duration
+		for round := 0; round < rounds; round++ {
+			add := pool.RowSlice(round*batch, (round+1)*batch)
+			remove := rng.Perm(corpus.Rows())[:batch]
+			t0 := time.Now()
+			if log == nil {
+				if _, err := sh.AddItems(add); err != nil {
+					return err
+				}
+				if err := sh.RemoveItems(remove); err != nil {
+					return err
+				}
+				applies += 2
+			} else {
+				if _, err := log.Add(add); err != nil {
+					return err
+				}
+				if err := log.Remove(remove); err != nil {
+					return err
+				}
+				if (round+1)%F == 0 {
+					if err := log.Flush(); err != nil {
+						return err
+					}
+				}
+			}
+			mutate += time.Since(t0)
+			sorted, err := mips.ValidateRemoveIDs(remove, corpus.Rows()+batch)
+			if err != nil {
+				return err
+			}
+			corpus = mat.RemoveRows(mat.AppendRows(corpus, add), sorted)
+		}
+		if log != nil {
+			t0 := time.Now()
+			if err := log.Close(); err != nil { // final partial batch
+				return err
+			}
+			mutate += time.Since(t0)
+			applies = int(log.Stats().Flushes)
+		}
+		if r.opt.Verify {
+			res, err := sh.QueryAll(10)
+			if err != nil {
+				return err
+			}
+			if err := mips.VerifyAll(users, corpus, res, 10, 1e-8); err != nil {
+				return fmt.Errorf("churn batched F=%d verification: %w", F, err)
+			}
+		}
+		mode, perFlush := "direct", fmt.Sprintf("%d", 2*batch)
+		if F > 0 {
+			mode, perFlush = fmt.Sprintf("F=%d", F), fmt.Sprintf("%d", 2*batch*F)
+		}
+		events := float64(2 * batch * rounds)
+		r.printf("%-20s %-8s %12s %8d %10d %10.4f %12.1f\n",
+			"", mode, perFlush, applies, sh.Generation(),
+			mutate.Seconds()*1000/events, float64(sh.MutationStats().Dirty())/rounds)
 	}
 	return nil
 }

@@ -38,8 +38,14 @@ import (
 // corpus (a solver over zero items is not buildable — see ValidateInputs).
 //
 // Generation is the mutation stamp: 0 after Build, incremented by every
-// successful AddItems or RemoveItems. Serving layers expose it so clients
-// can detect when cached id translations or results predate a catalog swap.
+// successful AddItems or RemoveItems, and by nothing else — in particular
+// a UserAdder's AddUsers never advances it (the stamp tracks the item
+// corpus, whose positional ids are what a generation change invalidates;
+// user arrival never renumbers anything). Serving layers expose it so
+// clients can detect when cached id translations or results predate a
+// catalog swap. All seven implementations (the five solvers, Naive, and
+// the sharded composite) are held to these exact semantics by the
+// cross-solver contract test at the repository root.
 //
 // Mutators are NOT safe for concurrent use with queries: callers serialize
 // mutation against in-flight queries (the serving layer's single-writer/

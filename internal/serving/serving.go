@@ -19,7 +19,10 @@
 // single-writer/drain handshake — the in-flight batch finishes against the
 // old index, the mutation lands exclusively, the next batch serves the new
 // generation — and Stats.Generation tells clients when their cached
-// positional item ids went stale.
+// positional item ids went stale. Under sustained churn, Log attaches a
+// batched mutation log (internal/mutlog) that coalesces events and pays one
+// drain and one generation tick per flushed batch instead of per event,
+// with Config.MaxDelay bounding how stale the served catalog may run.
 package serving
 
 import (
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"optimus/internal/mips"
+	"optimus/internal/mutlog"
 	"optimus/internal/topk"
 )
 
@@ -59,11 +63,20 @@ type Stats struct {
 	Batches int64
 	// MeanBatchSize is Requests/Batches.
 	MeanBatchSize float64
-	// Generation counts successful Mutate calls — the serving-side catalog
-	// version. A client caching item-id translations compares generations to
-	// detect that the positional ids it holds predate a catalog swap (see
-	// the mips.ItemMutator compaction contract).
+	// Generation counts Mutate calls that changed the item catalog — the
+	// serving-side catalog version. A client caching item-id translations
+	// compares generations to detect that the positional ids it holds
+	// predate a catalog swap (see the mips.ItemMutator compaction
+	// contract). A Mutate whose fn performed no successful item mutation
+	// (including user-arrival-only maintenance) does not advance it.
 	Generation uint64
+	// LogPending / LogFlushes / LogFlushedEvents mirror the attached
+	// mutation log's counters (see Log): events waiting for a flush,
+	// non-empty batches applied, and catalog events applied through them.
+	// All zero when no log is attached.
+	LogPending       int
+	LogFlushes       int64
+	LogFlushedEvents int64
 }
 
 type request struct {
@@ -104,6 +117,7 @@ type Server struct {
 	requests   int64
 	batches    int64
 	generation uint64
+	log        *mutlog.Log
 	closed     bool
 }
 
@@ -171,12 +185,32 @@ func (s *Server) Query(ctx context.Context, userID, k int) ([]topk.Entry, error)
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{Requests: s.requests, Batches: s.batches, Generation: s.generation}
 	if s.batches > 0 {
 		st.MeanBatchSize = float64(s.requests) / float64(s.batches)
 	}
+	log := s.log
+	s.mu.Unlock()
+	// The log snapshot is taken outside s.mu: a flush holds the log's lock
+	// while ticking the generation under s.mu, so nesting the locks the
+	// other way here would deadlock.
+	if log != nil {
+		ls := log.Stats()
+		st.LogPending = ls.PendingEvents
+		st.LogFlushes = ls.Flushes
+		st.LogFlushedEvents = ls.FlushedEvents
+	}
 	return st
+}
+
+// NumItems reports the item count of the underlying solver's corpus, or -1
+// when the solver does not report sizes (mips.Sized). Clients use it to
+// bound k; the mutation log anchors its id space on it.
+func (s *Server) NumItems() int {
+	if sized, ok := s.solver.(mips.Sized); ok {
+		return sized.NumItems()
+	}
+	return -1
 }
 
 // ErrNotMutable is returned by Mutate when the underlying solver does not
@@ -197,11 +231,18 @@ var ErrNotMutable = errors.New("serving: solver does not support item mutation")
 // the solver lock for the duration of fn, so such a query can never be
 // answered and the server deadlocks — query the solver directly inside fn
 // if a post-mutation sanity check is needed. Mutate returns fn's error
-// unchanged, and the server's generation does not advance on failure. Per
-// the ItemMutator contract a rejected mutation left the index unchanged, so
-// serving continues safely; the narrow exception is a mid-mutation *solver
-// bug* (see the solver's own mutation docs), after which the server should
-// be replaced along with its solver. Writers are serialized; Mutate may be
+// unchanged. The generation advances exactly when the item catalog changed —
+// when the solver's own mutation stamp (mips.ItemMutator.Generation) moved
+// under fn. A fn that performs no successful item mutation — it returns
+// early, every mutator call fails, or it only does non-catalog maintenance
+// such as mips.UserAdder.AddUsers — pays the drain (that is unavoidable: fn
+// must run exclusively to find out) but does NOT tick the generation, so
+// clients' cached id translations are not invalidated for nothing. The
+// stamp-delta rule also keeps the staleness protocol honest in the narrow
+// mid-fn *solver bug* case (some mutator calls succeeded before one
+// corrupted the solver): the catalog did change, so the generation ticks
+// even though fn reports an error — after which the server should be
+// replaced along with its solver. Writers are serialized; Mutate may be
 // called from any goroutine, including after Close (the drain is then
 // trivially empty).
 func (s *Server) Mutate(fn func(mips.ItemMutator) error) error {
@@ -210,8 +251,9 @@ func (s *Server) Mutate(fn func(mips.ItemMutator) error) error {
 		return fmt.Errorf("%w (%s)", ErrNotMutable, s.solver.Name())
 	}
 	s.solverMu.Lock()
+	before := mut.Generation()
 	err := fn(mut)
-	if err == nil {
+	if mut.Generation() != before {
 		// Advance the generation before releasing the write lock: no batch
 		// may be answered from the new catalog while Stats still reports
 		// the old generation, or the client staleness protocol breaks.
@@ -223,8 +265,54 @@ func (s *Server) Mutate(fn func(mips.ItemMutator) error) error {
 	return err
 }
 
-// Close rejects new queries, waits for in-flight ones to be answered, and
-// stops the dispatcher. Close is idempotent.
+// Log attaches a batched mutation log (internal/mutlog) to the server: Add
+// and Remove enqueue catalog events, and a flush — explicit, size-triggered
+// (Config.MaxEvents), or staleness-triggered by the log's background
+// flusher (Config.MaxDelay, the bound on writer starvation) — applies the
+// coalesced batch through Mutate: one drain and one generation tick for the
+// whole batch instead of one per event. Stats mirrors the log's pending and
+// flushed counters.
+//
+// The solver must be a mips.ItemMutator and report its corpus size
+// (mips.Sized). At most one log may be attached per server, and once it is,
+// every catalog mutation must flow through it — a direct Mutate that
+// changes the corpus behind the log's back voids its id bookkeeping (the
+// log detects the drift and fails its next flush). Close closes the log
+// (flushing any pending batch) before stopping; callers who need the final
+// flush's error close the log explicitly first — Log.Close is idempotent.
+func (s *Server) Log(cfg mutlog.Config) (*mutlog.Log, error) {
+	if _, ok := s.solver.(mips.ItemMutator); !ok {
+		return nil, fmt.Errorf("%w (%s)", ErrNotMutable, s.solver.Name())
+	}
+	if s.NumItems() < 0 {
+		return nil, fmt.Errorf("serving: %s does not report its corpus size (mips.Sized)", s.solver.Name())
+	}
+	log, err := mutlog.New(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Attach under the same lock Close uses to set closed and snapshot the
+	// log: a log can never slip in after (or concurrently with) Close, or
+	// its background flusher would outlive the server unclosed.
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		log.Close()
+		return nil, ErrClosed
+	case s.log != nil:
+		s.mu.Unlock()
+		log.Close()
+		return nil, errors.New("serving: server already has a mutation log")
+	}
+	s.log = log
+	s.mu.Unlock()
+	return log, nil
+}
+
+// Close rejects new queries, waits for in-flight ones to be answered, stops
+// the dispatcher, and closes the attached mutation log (if any), flushing
+// its pending batch into the now-idle solver. Close is idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -232,12 +320,18 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	log := s.log
 	s.mu.Unlock()
 	// In-flight queries still hold the dispatcher; it must not exit before
 	// they are answered (or abandoned via their contexts).
 	s.inflight.Wait()
 	close(s.stop)
 	s.wg.Wait()
+	if log != nil {
+		// Final-flush errors are retained in the log's Stats; callers who
+		// must observe them close the log themselves first (idempotent).
+		_ = log.Close()
+	}
 }
 
 // loop is the batching dispatcher.

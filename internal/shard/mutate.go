@@ -260,12 +260,21 @@ func (s *Sharded) RemoveItems(ids []int) error {
 // the composite's user matrix. Every live sub-solver must implement
 // mips.UserAdder; the capability — and the input shape — is checked up
 // front so an unsupported configuration fails before any shard changes.
-// The broadcast itself cannot be staged (sub-solvers absorb users in
-// place), so a mid-broadcast sub-solver failure is fatal to the instance:
-// earlier shards have already grown their user space. With the
-// repository's solvers the inputs are fully validated before the first
-// broadcast call, so that path is reachable only through a custom
-// sub-solver bug.
+//
+// Error atomicity. The broadcast itself cannot be staged on copies
+// (sub-solvers absorb users in place), so a mid-broadcast failure — a
+// sub-solver error or an id-contract violation at shard k — is rolled back
+// by rebuilding shards 0..k over the composite's unchanged user matrix and
+// their current sub-corpora: the composite then answers queries identically
+// to its pre-call state (the exactness contract makes a rebuilt sub-solver
+// interchangeable; under a Planner the dirty shards are re-planned, and
+// their Plans()/Builds counters advance — the observable trace of the
+// recovery). Shard k itself is included because a contract-violating
+// sub-solver has already mutated. Only if the rollback rebuild *also* fails
+// is the composite corrupt; the returned error then says so explicitly and
+// the instance must be discarded. With the repository's solvers the inputs
+// are fully validated before the first broadcast call, so the whole path is
+// reachable only through a custom sub-solver bug.
 func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 	if s.shards == nil {
 		return nil, fmt.Errorf("shard: AddUsers before Build")
@@ -289,16 +298,46 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 			continue
 		}
 		ids, err := sh.solver.(mips.UserAdder).AddUsers(newUsers)
-		if err != nil {
-			return nil, fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
+		if err == nil && (len(ids) != newUsers.Rows() || ids[0] != base) {
+			err = fmt.Errorf("sub-solver assigned user ids %v, want [%d,%d)",
+				ids, base, base+newUsers.Rows())
 		}
-		if len(ids) != newUsers.Rows() || ids[0] != base {
-			return nil, fmt.Errorf("shard %d (%s): sub-solver assigned user ids %v, want [%d,%d)",
-				si, sh.plan, ids, base, base+newUsers.Rows())
+		if err != nil {
+			err = fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
+			if rbErr := s.rollbackUserBroadcast(si); rbErr != nil {
+				return nil, fmt.Errorf("%v; rollback failed, composite corrupt: %w", err, rbErr)
+			}
+			return nil, err
 		}
 	}
 	s.users = mat.AppendRows(s.users, newUsers)
 	return mips.IDRange(base, newUsers.Rows()), nil
+}
+
+// rollbackUserBroadcast undoes a partial AddUsers broadcast by rebuilding
+// shards [0, upto] from the composite's (unchanged) user matrix and their
+// current sub-corpora. Rebuilt shards answer identically to their pre-call
+// state; their Plans()/Builds counters advance, and a Planner re-plans them.
+func (s *Sharded) rollbackUserBroadcast(upto int) error {
+	for si := 0; si <= upto; si++ {
+		sh := &s.shards[si]
+		if sh.count == 0 {
+			continue
+		}
+		var sub *mat.Matrix
+		if sh.ids == nil {
+			sub = s.items.RowSlice(sh.base, sh.base+sh.count)
+		} else {
+			sub = subMatrix(s.items, sh.ids)
+		}
+		if err := s.buildShard(sh, si, s.users, sub); err != nil {
+			return err
+		}
+	}
+	// A Planner rollback may have changed sub-solver types, so the cached
+	// composite capabilities (Batches, two-wave) are re-derived.
+	s.refreshComposite()
+	return nil
 }
 
 // materializeIDs expands contiguous-range shard representations into

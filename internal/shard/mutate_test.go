@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"optimus/internal/core"
@@ -405,6 +406,131 @@ func TestFexiproJoinsTwoWave(t *testing.T) {
 			for u := range want {
 				assertSameEntries(t, u, want[u], got[u])
 				assertSameEntries(t, u, blindRes[u], got[u])
+			}
+		})
+	}
+}
+
+// faultyUserAdder wraps a real solver and fails the Nth AddUsers call the
+// wrapper family sees (shared counter) — either with an error or, worse, by
+// mutating and then violating the id contract. Everything else delegates.
+type faultyUserAdder struct {
+	inner   mips.Solver
+	calls   *int // shared across the factory's instances
+	failAt  int  // 1-based AddUsers call to sabotage; 0 disables
+	violate bool // false: clean error; true: mutate, then return wrong ids
+}
+
+func (f *faultyUserAdder) Name() string                 { return "faulty(" + f.inner.Name() + ")" }
+func (f *faultyUserAdder) Batches() bool                { return f.inner.Batches() }
+func (f *faultyUserAdder) Build(u, i *mat.Matrix) error { return f.inner.Build(u, i) }
+func (f *faultyUserAdder) Query(ids []int, k int) ([][]topk.Entry, error) {
+	return f.inner.Query(ids, k)
+}
+func (f *faultyUserAdder) QueryAll(k int) ([][]topk.Entry, error) { return f.inner.QueryAll(k) }
+
+func (f *faultyUserAdder) AddUsers(users *mat.Matrix) ([]int, error) {
+	*f.calls++
+	if f.failAt > 0 && *f.calls == f.failAt {
+		if !f.violate {
+			return nil, fmt.Errorf("injected AddUsers failure")
+		}
+		ids, err := f.inner.(mips.UserAdder).AddUsers(users) // mutates for real
+		if err != nil {
+			return nil, err
+		}
+		for i := range ids {
+			ids[i]++ // then lies about the assigned ids
+		}
+		return ids, nil
+	}
+	return f.inner.(mips.UserAdder).AddUsers(users)
+}
+
+// TestAddUsersFailureAtomicity is the error-atomicity regression for the
+// broadcast path: a mid-broadcast sub-solver failure — at shard 1, after
+// shard 0 already absorbed the arrivals — must leave the composite
+// answering queries identically to its pre-call state, with the new user
+// ids still invalid; and a subsequent healthy AddUsers must succeed.
+func TestAddUsersFailureAtomicity(t *testing.T) {
+	m := model(t, "r2-nomad-25", 0.04)
+	arrivals := model(t, "r2-nomad-25", 0.02).Users.RowSlice(0, 5)
+	const k = 7
+	const S = 3
+	for _, mode := range []string{"error", "id-contract-violation"} {
+		t.Run(mode, func(t *testing.T) {
+			calls := 0
+			failAt := 2 // shard 0 succeeds, shard 1 fails mid-broadcast
+			sh := New(Config{
+				Shards:      S,
+				Partitioner: ByNorm(),
+				Factory: func() mips.Solver {
+					return &faultyUserAdder{
+						inner:   core.NewBMM(core.BMMConfig{}),
+						calls:   &calls,
+						failAt:  failAt,
+						violate: mode == "id-contract-violation",
+					}
+				},
+			})
+			if err := sh.Build(m.Users, m.Items); err != nil {
+				t.Fatal(err)
+			}
+			before, err := sh.QueryAll(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sh.AddUsers(arrivals); err == nil {
+				t.Fatal("sabotaged AddUsers succeeded")
+			} else if strings.Contains(err.Error(), "composite corrupt") {
+				t.Fatalf("rollback failed: %v", err)
+			}
+			if calls != failAt {
+				t.Fatalf("broadcast reached %d AddUsers calls, want %d (stop at first failure)", calls, failAt)
+			}
+			// The composite answers exactly as before the call...
+			after, err := sh.QueryAll(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range before {
+				assertSameEntries(t, u, before[u], after[u])
+			}
+			// ...the user space did not grow...
+			if got := sh.NumUsers(); got != m.Users.Rows() {
+				t.Fatalf("NumUsers = %d after failed AddUsers, want %d", got, m.Users.Rows())
+			}
+			if _, err := sh.Query([]int{m.Users.Rows()}, k); err == nil {
+				t.Fatal("a partially-added user id answers queries")
+			}
+			// ...and the rollback is visible where documented: the touched
+			// shards' build counters advanced, untouched shards' did not.
+			plans := sh.Plans()
+			for si, p := range plans {
+				want := 1
+				if si <= 1 {
+					want = 2 // shards 0 and 1 were rebuilt by the rollback
+				}
+				if p.Builds != want {
+					t.Fatalf("shard %d builds = %d, want %d (plans %+v)", si, p.Builds, want, plans)
+				}
+			}
+			// A healthy retry works and matches the unsharded reference.
+			failAt = 0
+			ids, err := sh.AddUsers(arrivals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != arrivals.Rows() || ids[0] != m.Users.Rows() {
+				t.Fatalf("retry assigned ids %v", ids)
+			}
+			grown := mat.AppendRows(m.Users, arrivals)
+			got, err := sh.QueryAll(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mips.VerifyAll(grown, m.Items, got, k, 1e-9); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}

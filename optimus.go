@@ -51,6 +51,7 @@ import (
 	"optimus/internal/lemp"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/mutlog"
 	"optimus/internal/parallel"
 	"optimus/internal/serving"
 	"optimus/internal/shard"
@@ -309,10 +310,35 @@ var ErrServerNotMutable = serving.ErrNotMutable
 // When the solver is an ItemMutator, Server.Mutate applies catalog churn
 // with the generation-safe drain handshake: the in-flight batch finishes
 // against the old index, the mutation lands exclusively, and
-// Stats.Generation advances.
+// Stats.Generation advances (only when the catalog actually changed — an
+// fn that performs no successful item mutation leaves it alone).
 func NewServer(solver Solver, cfg ServerConfig) (*Server, error) {
 	return serving.New(solver, cfg)
 }
+
+// MutationLog is the batched mutation log (Server.Log): catalog events
+// enqueue and coalesce — a remove of a still-pending add annihilates both,
+// later remove ids are rewritten through the positional compaction — and a
+// flush applies the whole batch as at most one AddItems plus one
+// RemoveItems under a single drain and generation tick. Flush-equivalence
+// is exact: the flushed index answers entry-for-entry like one-at-a-time
+// application of the same events.
+type MutationLog = mutlog.Log
+
+// MutationLogConfig controls the log's flush policy: MaxEvents (size
+// trigger, applied synchronously at enqueue) and MaxDelay (staleness bound,
+// enforced by a background flusher). Zero values select defaults; negative
+// values disable a trigger.
+type MutationLogConfig = mutlog.Config
+
+// MutationLogStats snapshots the log's pending/flushed/cancelled counters.
+type MutationLogStats = mutlog.Stats
+
+// MutationHandle identifies one enqueued item across the flush boundary:
+// provisional while pending, resolved (MutationLog.Resolve) to the real
+// assigned id by the flush that applies it, and kept current through later
+// logged removals.
+type MutationHandle = mutlog.Handle
 
 // VerifyTopK checks that a result is an exact top-k answer for the given
 // user vector against the items, within relative score tolerance tol.
