@@ -7,6 +7,7 @@ package optimus
 // names encode (model, strategy, K) so benchstat can diff runs.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -430,6 +431,76 @@ func BenchmarkChurn(b *testing.B) {
 					b.ReportMetric(float64(st.Dirty())/rounds, "dirty-shards/op")
 					b.ReportMetric(float64(s.Generation())/events, "gen-ticks/event")
 				}
+			})
+		}
+	}
+}
+
+// benchModelAt is benchModel at an explicit scale (the coldstart benchmark
+// sweeps scale itself).
+func benchModelAt(b *testing.B, name string, scale float64) *dataset.Model {
+	b.Helper()
+	cfg, err := dataset.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := dataset.Generate(cfg.Scale(scale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkColdStart — snapshot restore vs fresh build, the serving restart
+// path: the build arm pays a full Build from the raw matrices per op, the
+// load arm restores the same index from an in-memory snapshot (Persister
+// round-trip). The load arm also reports snapshot-bytes and deterministic
+// (1 = two consecutive Saves produced identical bytes) — the properties the
+// golden-file compatibility tests and content-addressed shard shipping
+// rely on, surfaced in the CI bench artifact where a regression is visible
+// as a metric flip rather than a wall-clock delta. Compare with
+//
+//	go test -bench=ColdStart -run=^$ -count=5 | benchstat
+func BenchmarkColdStart(b *testing.B) {
+	for _, scale := range []float64{0.06, 0.12} {
+		m := benchModelAt(b, "r2-nomad-50", scale)
+		for _, solver := range []string{"MAXIMUS", "LEMP", "FEXIPRO-SI"} {
+			b.Run(fmt.Sprintf("scale=%.2f/%s/build", scale, solver), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := benchSolver(solver)
+					if err := s.Build(m.Users, m.Items); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("scale=%.2f/%s/load", scale, solver), func(b *testing.B) {
+				solver := solver
+				src := benchSolver(solver).(Persister)
+				if err := src.(mips.Solver).Build(m.Users, m.Items); err != nil {
+					b.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := src.Save(&buf); err != nil {
+					b.Fatal(err)
+				}
+				var buf2 bytes.Buffer
+				if err := src.Save(&buf2); err != nil {
+					b.Fatal(err)
+				}
+				deterministic := 0.0
+				if bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+					deterministic = 1.0
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dst := benchSolver(solver).(Persister)
+					if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(buf.Len()), "snapshot-bytes")
+				b.ReportMetric(deterministic, "deterministic")
 			})
 		}
 	}

@@ -9,6 +9,14 @@
 // Matrix files may be OMX1 binary (.omx) or CSV (anything else). With -user
 // it prints one user's ranking; otherwise it prints a summary and, with
 // -out, writes all results as CSV rows "user,rank,item,score".
+//
+// -save writes the built index (in optimus mode, the winning strategy's
+// index) as a versioned snapshot after answering; -snapshot loads a
+// previously saved index instead of building — the user and item matrices
+// are embedded in the snapshot, so -users/-items are not needed:
+//
+//	mipsquery -users u.omx -items i.omx -k 10 -solver lemp -save idx.osnp
+//	mipsquery -snapshot idx.osnp -k 10 -user 42
 package main
 
 import (
@@ -19,11 +27,14 @@ import (
 	"strings"
 	"time"
 
+	_ "optimus/internal/conetree" // register snapshot kind
 	"optimus/internal/core"
 	"optimus/internal/fexipro"
 	"optimus/internal/lemp"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
+	"optimus/internal/persist"
+	_ "optimus/internal/shard" // register snapshot kind
 	"optimus/internal/topk"
 )
 
@@ -37,55 +48,83 @@ func main() {
 		threads   = flag.Int("threads", 0, "solver threads (0 = all cores)")
 		outPath   = flag.String("out", "", "write all results as CSV to this path")
 		seed      = flag.Int64("seed", 1, "seed for clustering/sampling")
+		snapPath  = flag.String("snapshot", "", "load a saved index snapshot instead of building (-users/-items not needed)")
+		savePath  = flag.String("save", "", "write the built index as a snapshot to this path")
 	)
 	flag.Parse()
-	if *usersPath == "" || *itemsPath == "" {
-		fmt.Fprintln(os.Stderr, "mipsquery: -users and -items are required")
+	if *snapPath == "" && (*usersPath == "" || *itemsPath == "") {
+		fmt.Fprintln(os.Stderr, "mipsquery: -users and -items are required (or -snapshot)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	users, err := readMatrix(*usersPath)
-	if err != nil {
-		fatal(err)
-	}
-	items, err := readMatrix(*itemsPath)
-	if err != nil {
-		fatal(err)
-	}
 
 	var results [][]topk.Entry
-	start := time.Now()
-	if *solver == "optimus" {
-		opt := core.NewOptimus(core.OptimusConfig{Seed: *seed, Threads: *threads},
-			core.NewMaximus(core.MaximusConfig{Seed: *seed, Threads: *threads}),
-			lemp.New(lemp.Config{Seed: *seed, Threads: *threads}))
-		dec, res, err := opt.Run(users, items, *k)
+	if *snapPath != "" {
+		s, err := loadSnapshot(*snapPath, *threads)
 		if err != nil {
 			fatal(err)
 		}
-		results = res
-		fmt.Printf("optimus chose %s (sample %d users, overhead %v)\n",
-			dec.Winner, dec.SampleSize, dec.Overhead.Round(time.Microsecond))
-		for _, e := range dec.Estimates {
-			fmt.Printf("  estimate %-12s total=%v build=%v examined=%d\n",
-				e.Solver, e.Total.Round(time.Microsecond), e.BuildTime.Round(time.Microsecond), e.Examined)
-		}
-	} else {
-		s, err := newSolver(*solver, *threads, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		if err := s.Build(users, items); err != nil {
-			fatal(err)
-		}
+		start := time.Now()
 		results, err = s.QueryAll(*k)
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Printf("solved top-%d for %d users with restored %s index in %v\n",
+			*k, len(results), s.Name(), time.Since(start).Round(time.Millisecond))
+		if *savePath != "" {
+			if err := saveSnapshot(*savePath, s); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		users, err := readMatrix(*usersPath)
+		if err != nil {
+			fatal(err)
+		}
+		items, err := readMatrix(*itemsPath)
+		if err != nil {
+			fatal(err)
+		}
+		var built mips.Solver
+		start := time.Now()
+		if *solver == "optimus" {
+			opt := core.NewOptimus(core.OptimusConfig{Seed: *seed, Threads: *threads},
+				core.NewMaximus(core.MaximusConfig{Seed: *seed, Threads: *threads}),
+				lemp.New(lemp.Config{Seed: *seed, Threads: *threads}))
+			dec, res, err := opt.Run(users, items, *k)
+			if err != nil {
+				fatal(err)
+			}
+			results = res
+			built = opt.Solver(dec.Winner)
+			fmt.Printf("optimus chose %s (sample %d users, overhead %v)\n",
+				dec.Winner, dec.SampleSize, dec.Overhead.Round(time.Microsecond))
+			for _, e := range dec.Estimates {
+				fmt.Printf("  estimate %-12s total=%v build=%v examined=%d\n",
+					e.Solver, e.Total.Round(time.Microsecond), e.BuildTime.Round(time.Microsecond), e.Examined)
+			}
+		} else {
+			s, err := newSolver(*solver, *threads, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if err := s.Build(users, items); err != nil {
+				fatal(err)
+			}
+			results, err = s.QueryAll(*k)
+			if err != nil {
+				fatal(err)
+			}
+			built = s
+		}
+		fmt.Printf("solved top-%d for %d users x %d items (f=%d) in %v\n",
+			*k, users.Rows(), items.Rows(), users.Cols(), time.Since(start).Round(time.Millisecond))
+		if *savePath != "" {
+			if err := saveSnapshot(*savePath, built); err != nil {
+				fatal(err)
+			}
+		}
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("solved top-%d for %d users x %d items (f=%d) in %v\n",
-		*k, users.Rows(), items.Rows(), users.Cols(), elapsed.Round(time.Millisecond))
 
 	if *user >= 0 {
 		if *user >= len(results) {
@@ -120,6 +159,51 @@ func newSolver(name string, threads int, seed int64) (mips.Solver, error) {
 	default:
 		return nil, fmt.Errorf("unknown solver %q", name)
 	}
+}
+
+func loadSnapshot(path string, threads int) (mips.Solver, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ls, err := persist.LoadAny(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	s, ok := ls.(mips.Solver)
+	if !ok {
+		return nil, fmt.Errorf("snapshot %s holds a %T, not a solver", path, ls)
+	}
+	if ts, ok := s.(mips.ThreadSetter); ok {
+		ts.SetThreads(threads)
+	}
+	return s, nil
+}
+
+func saveSnapshot(path string, s mips.Solver) error {
+	p, ok := s.(mips.Persister)
+	if !ok {
+		return fmt.Errorf("solver %s does not support snapshots", s.Name())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := p.Save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("saved snapshot", path)
+	return nil
 }
 
 func readMatrix(path string) (*mat.Matrix, error) {

@@ -1,0 +1,203 @@
+package conetree
+
+import (
+	"fmt"
+	"io"
+
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/persist"
+)
+
+// Kind is the cone tree's snapshot kind string.
+const Kind = "ConeTree"
+
+func init() {
+	persist.Register(Kind, func() persist.LoadSaver { return New(Config{}) })
+}
+
+// Save implements mips.Persister. The snapshot stores the reordered item
+// matrix, the id permutation, and the node tree in preorder (cone summary +
+// reordered range per node). Item directions are unit-normalized rows of
+// the reordered matrix and are re-derived at Load rather than stored —
+// they double the matrix payload for one O(n·f) pass.
+func (x *Index) Save(w io.Writer) error {
+	if x.root == nil {
+		return fmt.Errorf("conetree: Save before Build")
+	}
+	pw, err := persist.NewWriter(w, Kind)
+	if err != nil {
+		return err
+	}
+	pw.Section("conetree", func(e *persist.Encoder) {
+		e.U64(x.gen)
+		e.Int(x.mutations)
+		e.Int(x.cfg.LeafSize)
+		e.Matrix(x.users)
+		e.Matrix(x.reordered)
+		e.Ints(x.ids)
+	})
+	pw.Section("tree", func(e *persist.Encoder) {
+		e.Int(countNodes(x.root))
+		encodeNode(e, x.root)
+	})
+	return pw.Close()
+}
+
+func countNodes(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.left) + countNodes(n.right)
+}
+
+func encodeNode(e *persist.Encoder, n *node) {
+	var flags uint8
+	if n.left != nil {
+		flags = 1
+	}
+	e.U8(flags)
+	e.Int(n.lo)
+	e.Int(n.hi)
+	e.F64(n.omega)
+	e.F64(n.minNorm)
+	e.F64(n.maxNorm)
+	e.F64s(n.center)
+	if n.left != nil {
+		encodeNode(e, n.left)
+		encodeNode(e, n.right)
+	}
+}
+
+// treeDecoder rebuilds the preorder node stream with hard budgets: the node
+// count is bounded by the binary-tree maximum for the item count, every
+// node's range must nest exactly inside its parent's, and children must
+// partition the parent — so a corrupt or adversarial stream cannot install
+// a tree whose ranges walk outside the reordered matrix.
+type treeDecoder struct {
+	d       *persist.Decoder
+	f       int
+	budget  int
+	decoded int
+}
+
+// decode reads one subtree whose range starts at lo. When exactHi, the
+// node's hi must equal hi; otherwise hi is an exclusive upper bound and the
+// true split point comes from the node's own header (a left child's hi is
+// only discoverable from the stream).
+func (td *treeDecoder) decode(lo, hi int, exactHi bool) (*node, error) {
+	if td.decoded >= td.budget {
+		return nil, fmt.Errorf("conetree: snapshot tree exceeds %d nodes", td.budget)
+	}
+	td.decoded++
+	flags := td.d.U8()
+	n := &node{
+		lo:      td.d.Int(),
+		hi:      td.d.Int(),
+		omega:   td.d.F64(),
+		minNorm: td.d.F64(),
+		maxNorm: td.d.F64(),
+		center:  td.d.F64s(),
+	}
+	if err := td.d.Err(); err != nil {
+		return nil, err
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("conetree: snapshot node flags %d invalid", flags)
+	}
+	if n.lo != lo || n.hi <= n.lo || n.hi > hi || (exactHi && n.hi != hi) {
+		return nil, fmt.Errorf("conetree: snapshot node covers [%d,%d), want within [%d,%d)", n.lo, n.hi, lo, hi)
+	}
+	if len(n.center) != td.f {
+		return nil, fmt.Errorf("conetree: snapshot node center has %d factors, want %d", len(n.center), td.f)
+	}
+	if flags == 1 {
+		if n.hi-n.lo < 2 {
+			return nil, fmt.Errorf("conetree: snapshot interior node over %d items", n.hi-n.lo)
+		}
+		// Children partition the parent contiguously: left covers
+		// [n.lo, split), right covers [split, n.hi), split strictly inside.
+		left, err := td.decode(n.lo, n.hi-1, false)
+		if err != nil {
+			return nil, err
+		}
+		right, err := td.decode(left.hi, n.hi, true)
+		if err != nil {
+			return nil, err
+		}
+		n.left, n.right = left, right
+	}
+	return n, nil
+}
+
+// Load implements mips.Persister. LeafSize comes from the snapshot (it
+// shaped the stored tree and governs future rebuild splits); Threads stays
+// with the receiver.
+func (x *Index) Load(r io.Reader) error {
+	pr, err := persist.NewReader(r, Kind)
+	if err != nil {
+		return err
+	}
+	d := pr.Section("conetree")
+	gen := d.U64()
+	mutations := d.Int()
+	leafSize := d.Int()
+	users := d.Matrix()
+	reordered := d.Matrix()
+	ids := d.Ints()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := mips.ValidateInputs(users, reordered); err != nil {
+		return err
+	}
+	n := reordered.Rows()
+	if err := mips.ValidatePermutation(ids, n); err != nil {
+		return fmt.Errorf("conetree: snapshot id map: %w", err)
+	}
+	if leafSize < 1 {
+		return fmt.Errorf("conetree: snapshot leaf size %d out of range", leafSize)
+	}
+
+	td := pr.Section("tree")
+	nNodes := td.Int()
+	if err := td.Err(); err != nil {
+		return err
+	}
+	if nNodes < 1 || nNodes > 2*n-1 {
+		return fmt.Errorf("conetree: snapshot claims %d nodes for %d items", nNodes, n)
+	}
+	dec := &treeDecoder{d: td, f: reordered.Cols(), budget: nNodes}
+	root, err := dec.decode(0, n, true)
+	if err != nil {
+		return err
+	}
+	if err := td.Err(); err != nil {
+		return err
+	}
+	if dec.decoded != nNodes {
+		return fmt.Errorf("conetree: snapshot encodes %d nodes, header claims %d", dec.decoded, nNodes)
+	}
+	if err := pr.Close(); err != nil {
+		return err
+	}
+
+	dirs := reordered.Clone()
+	for i := 0; i < n; i++ {
+		if mat.Normalize(dirs.Row(i)) == 0 {
+			dirs.Row(i)[0] = 1
+		}
+	}
+
+	x.users = users
+	x.reordered = reordered
+	x.ids = ids
+	x.dirs = dirs
+	x.root = root
+	x.cfg.LeafSize = leafSize
+	x.gen = gen
+	x.mutations = mutations
+	x.scanned.Store(0)
+	x.buildTime = 0
+	return nil
+}

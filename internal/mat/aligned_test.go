@@ -1,0 +1,105 @@
+package mat
+
+import (
+	"bytes"
+	"testing"
+)
+
+func alignedSample(rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = float64(i)*0.5 - 3
+	}
+	return m
+}
+
+func TestAlignedRoundTripAtOffsets(t *testing.T) {
+	m := alignedSample(3, 5)
+	for base := int64(0); base < 17; base++ {
+		var buf bytes.Buffer
+		n, err := WriteBinaryAligned(&buf, m, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("base %d: reported %d bytes, wrote %d", base, n, buf.Len())
+		}
+		if want := AlignedSize(m, base); n != want {
+			t.Fatalf("base %d: AlignedSize says %d, wrote %d", base, want, n)
+		}
+		// The payload's absolute offset must be 8-byte aligned.
+		raw := buf.Bytes()
+		pad := int(raw[20])
+		if (base+int64(alignedHeaderSize)+int64(pad))%8 != 0 {
+			t.Fatalf("base %d: pad %d leaves payload unaligned", base, pad)
+		}
+		got, consumed, err := ReadBinaryAligned(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if consumed != len(raw) {
+			t.Fatalf("base %d: consumed %d of %d", base, consumed, len(raw))
+		}
+		if got.Rows() != m.Rows() || got.Cols() != m.Cols() {
+			t.Fatalf("base %d: %dx%d", base, got.Rows(), got.Cols())
+		}
+		for i := range m.data {
+			if got.data[i] != m.data[i] {
+				t.Fatalf("base %d: elem %d = %v", base, i, got.data[i])
+			}
+		}
+	}
+}
+
+func TestAlignedReadFreshBacking(t *testing.T) {
+	m := alignedSample(2, 3)
+	var buf bytes.Buffer
+	if _, err := WriteBinaryAligned(&buf, m, 5); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	got, _, err := ReadBinaryAligned(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		raw[i] = 0xff
+	}
+	for i := range m.data {
+		if got.data[i] != m.data[i] {
+			t.Fatalf("decoded matrix aliases the input: elem %d = %v", i, got.data[i])
+		}
+	}
+}
+
+func TestAlignedReadGuards(t *testing.T) {
+	m := alignedSample(2, 2)
+	var buf bytes.Buffer
+	if _, err := WriteBinaryAligned(&buf, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	corrupt := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), raw...))
+	}
+	cases := map[string][]byte{
+		"short header": raw[:alignedHeaderSize-1],
+		"bad magic":    corrupt(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"pad range":    corrupt(func(b []byte) []byte { b[20] = 9; return b }),
+		"giant rows":   corrupt(func(b []byte) []byte { b[11] = 0xff; return b }),
+		// rows*cols chosen to overflow a naive rows*cols*8 size check.
+		"overflow dims": corrupt(func(b []byte) []byte {
+			for i := 4; i < 20; i++ {
+				b[i] = 0xcd
+			}
+			return b
+		}),
+		"truncated payload": raw[:len(raw)-3],
+	}
+	for name, b := range cases {
+		if _, _, err := ReadBinaryAligned(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -61,7 +61,7 @@ func ReadBinary(r io.Reader) (*Matrix, error) {
 	rows := binary.LittleEndian.Uint64(hdr[0:8])
 	cols := binary.LittleEndian.Uint64(hdr[8:16])
 	const maxElems = 1 << 34 // 128 GiB of float64s; guards corrupt headers
-	if rows > maxElems || cols > maxElems || rows*cols > maxElems {
+	if rows > maxElems || cols > maxElems || (cols != 0 && rows > maxElems/cols) {
 		return nil, fmt.Errorf("mat: unreasonable dimensions %dx%d", rows, cols)
 	}
 	m := New(int(rows), int(cols))

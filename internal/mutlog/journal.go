@@ -1,0 +1,335 @@
+package mutlog
+
+// The write-ahead journal. Every event the log accepts is recorded before
+// the log's own state changes (Config.Journal), and every successful
+// non-empty apply appends a marker. The journal therefore carries enough to
+// reconstruct both halves of the log's world at any kill point:
+//
+//   - events with seq <= the snapshot's applied-seq watermark were applied
+//     into the index the snapshot captured — replay skips them;
+//   - later events are re-enqueued, and each marker triggers the same
+//     flush the original process performed, so the restored index passes
+//     through the same generations to the same final state;
+//   - events after the last marker are re-enqueued and left pending —
+//     exactly the staleness bound Config.MaxDelay promises.
+//
+// Record layout (little-endian), append-only:
+//
+//	type    uint8   (recAdd | recRemove | recFlush)
+//	seq     uint64  strictly increasing
+//	bodyLen uint32
+//	body    [bodyLen]byte
+//	crc     uint32  IEEE CRC-32 of type..body
+//
+// recAdd body:    rows uint32, cols uint32, rows*cols float64
+// recRemove body: count uint32, count × uint64 virtual-corpus ids
+// recFlush body:  empty
+//
+// A torn tail — truncated record, checksum mismatch, unknown type — ends
+// replay tolerantly (ReplayStats.Truncated); anything before it is applied.
+// Handles do not survive restarts: replayed adds get fresh handles in the
+// new log, and callers re-resolve through ids.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"optimus/internal/mat"
+)
+
+const (
+	recAdd uint8 = iota + 1
+	recRemove
+	recFlush
+)
+
+const journalHeaderSize = 1 + 8 + 4
+
+// maxJournalBody bounds a record body a reader will accept; far above any
+// real batch, low enough that a corrupt length cannot demand absurd work.
+const maxJournalBody = 1 << 31
+
+// journalWriteLocked appends one record. The seq counter advances only when
+// the write fully succeeds, so a failed enqueue leaves journal and counter
+// consistent.
+func (l *Log) journalWriteLocked(recType uint8, body []byte) error {
+	if l.journal == nil {
+		return nil
+	}
+	seq := l.seq + 1
+	rec := make([]byte, journalHeaderSize+len(body)+4)
+	rec[0] = recType
+	binary.LittleEndian.PutUint64(rec[1:9], seq)
+	binary.LittleEndian.PutUint32(rec[9:13], uint32(len(body)))
+	copy(rec[journalHeaderSize:], body)
+	crc := crc32.ChecksumIEEE(rec[:journalHeaderSize+len(body)])
+	binary.LittleEndian.PutUint32(rec[journalHeaderSize+len(body):], crc)
+	if _, err := l.journal.Write(rec); err != nil {
+		return fmt.Errorf("mutlog: journal write: %w", err)
+	}
+	l.seq = seq
+	return nil
+}
+
+func (l *Log) journalAddLocked(items *mat.Matrix) error {
+	if l.journal == nil {
+		return nil
+	}
+	rows, cols := items.Rows(), items.Cols()
+	body := make([]byte, 8+8*rows*cols)
+	binary.LittleEndian.PutUint32(body[0:4], uint32(rows))
+	binary.LittleEndian.PutUint32(body[4:8], uint32(cols))
+	for r := 0; r < rows; r++ {
+		row := items.Row(r)
+		for c, v := range row {
+			binary.LittleEndian.PutUint64(body[8+8*(r*cols+c):], math.Float64bits(v))
+		}
+	}
+	return l.journalWriteLocked(recAdd, body)
+}
+
+func (l *Log) journalRemoveLocked(ids []int) error {
+	if l.journal == nil {
+		return nil
+	}
+	body := make([]byte, 4+8*len(ids))
+	binary.LittleEndian.PutUint32(body[0:4], uint32(len(ids)))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(body[4+8*i:], uint64(id))
+	}
+	return l.journalWriteLocked(recRemove, body)
+}
+
+// journalMarkerLocked records a successful apply and advances the
+// applied-seq watermark. The watermark moves before the write is attempted;
+// see the call site in flushLocked for why.
+func (l *Log) journalMarkerLocked() error {
+	if l.journal == nil {
+		// The watermark is maintained journal-less too: Server.Snapshot
+		// stores it, and a journal may be attached to a later incarnation.
+		l.seq++
+		l.appliedSeq = l.seq
+		return nil
+	}
+	seq := l.seq + 1
+	err := l.journalWriteLocked(recFlush, nil)
+	l.seq = seq
+	l.appliedSeq = seq
+	return err
+}
+
+// SeedSeq initializes a fresh log's sequence space at a restored snapshot's
+// watermark, so records written to the new incarnation's journal always
+// sort after everything the snapshot already reflects — required before a
+// snapshot of the restored server can be taken, and done automatically by
+// serving.Server.Replay. It must run before any event is journaled.
+func (l *Log) SeedSeq(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seq != 0 {
+		return fmt.Errorf("mutlog: SeedSeq after %d records were already sequenced", l.seq)
+	}
+	l.seq = seq
+	l.appliedSeq = seq
+	return nil
+}
+
+// AppliedSeq returns the journal sequence number of the last applied flush
+// marker: every event at or below it is reflected in the live index, every
+// pending event is above it. Snapshots store this watermark; Replay skips
+// records at or below it.
+func (l *Log) AppliedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appliedSeq
+}
+
+// Snapshot runs save while the log is quiescent: the log's lock is held, so
+// no enqueue can land and no flush can apply while save reads the index.
+// Because every catalog mutation flows through the log, the index state
+// save observes is exactly the applied-seq watermark's state — the
+// flush-boundary snapshot the WAL replays against. save receives that
+// watermark for embedding in the snapshot.
+func (l *Log) Snapshot(save func(appliedSeq uint64) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return save(l.appliedSeq)
+}
+
+// ReplayStats reports what a Replay consumed.
+type ReplayStats struct {
+	// Events counts add/remove records re-enqueued into the log.
+	Events int
+	// Flushes counts apply markers honored (each one Flush of the
+	// re-enqueued events — the same batch boundaries as the original run).
+	Flushes int
+	// Skipped counts records at or below the snapshot watermark, already
+	// reflected in the restored index.
+	Skipped int
+	// Truncated reports that the journal ended mid-record (the torn tail a
+	// crash leaves); everything before the tear was applied.
+	Truncated bool
+}
+
+// Replay feeds a journal into the log, skipping records at or below
+// afterSeq (the snapshot's applied-seq watermark). Add/remove records
+// re-enqueue through the normal write path — so they land in the new log's
+// journal, if one is configured — and each flush marker applies the batch
+// exactly where the original run did; the size and staleness triggers are
+// suppressed for the duration. A torn tail ends replay without error
+// (Truncated is set); a record the log itself rejects — possible only when
+// journal and snapshot do not belong together — returns an error.
+func Replay(r io.Reader, afterSeq uint64, l *Log) (ReplayStats, error) {
+	var st ReplayStats
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return st, ErrClosed
+	}
+	l.replaying = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.replaying = false
+		// Replayed events past the last marker stay pending; start their
+		// staleness clock now — restore time is when they became the
+		// serving system's responsibility again.
+		l.armLocked(0)
+		l.mu.Unlock()
+	}()
+
+	var lastSeq uint64
+	hdr := make([]byte, journalHeaderSize)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				return st, nil // clean end on a record boundary
+			}
+			st.Truncated = true
+			return st, nil
+		}
+		recType := hdr[0]
+		seq := binary.LittleEndian.Uint64(hdr[1:9])
+		bodyLen := binary.LittleEndian.Uint32(hdr[9:13])
+		if bodyLen > maxJournalBody {
+			st.Truncated = true
+			return st, nil
+		}
+		// Bounded-chunk body read: a torn length field fails at EOF after
+		// reading what exists, without a giant speculative allocation.
+		const chunk = 1 << 20
+		body := make([]byte, 0, min64(uint64(bodyLen), chunk))
+		torn := false
+		for uint32(len(body)) < bodyLen {
+			n := min64(uint64(bodyLen)-uint64(len(body)), chunk)
+			start := len(body)
+			body = append(body, make([]byte, n)...)
+			if _, err := io.ReadFull(r, body[start:]); err != nil {
+				torn = true
+				break
+			}
+		}
+		if torn {
+			st.Truncated = true
+			return st, nil
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+			st.Truncated = true
+			return st, nil
+		}
+		crc := crc32.ChecksumIEEE(hdr)
+		crc = crc32.Update(crc, crc32.IEEETable, body)
+		if crc != binary.LittleEndian.Uint32(crcBuf[:]) {
+			st.Truncated = true
+			return st, nil
+		}
+		if seq <= lastSeq || (recType != recAdd && recType != recRemove && recType != recFlush) {
+			st.Truncated = true
+			return st, nil
+		}
+		lastSeq = seq
+		if seq <= afterSeq {
+			st.Skipped++
+			continue
+		}
+		switch recType {
+		case recAdd:
+			items, err := decodeAddBody(body)
+			if err != nil {
+				st.Truncated = true
+				return st, nil
+			}
+			if _, err := l.Add(items); err != nil {
+				return st, fmt.Errorf("mutlog: replay add (seq %d): %w", seq, err)
+			}
+			st.Events++
+		case recRemove:
+			ids, err := decodeRemoveBody(body)
+			if err != nil {
+				st.Truncated = true
+				return st, nil
+			}
+			if err := l.Remove(ids); err != nil {
+				return st, fmt.Errorf("mutlog: replay remove (seq %d): %w", seq, err)
+			}
+			st.Events++
+		case recFlush:
+			if err := l.Flush(); err != nil {
+				return st, fmt.Errorf("mutlog: replay flush (seq %d): %w", seq, err)
+			}
+			st.Flushes++
+		}
+	}
+}
+
+func decodeAddBody(body []byte) (*mat.Matrix, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("mutlog: add record body truncated")
+	}
+	rows := int(binary.LittleEndian.Uint32(body[0:4]))
+	cols := int(binary.LittleEndian.Uint32(body[4:8]))
+	if rows < 1 || cols < 1 || len(body) != 8+8*rows*cols {
+		return nil, fmt.Errorf("mutlog: add record claims %dx%d in %d bytes", rows, cols, len(body))
+	}
+	m := mat.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] = math.Float64frombits(binary.LittleEndian.Uint64(body[8+8*(r*cols+c):]))
+		}
+	}
+	return m, nil
+}
+
+func decodeRemoveBody(body []byte) ([]int, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("mutlog: remove record body truncated")
+	}
+	count := int(binary.LittleEndian.Uint32(body[0:4]))
+	if count < 1 || len(body) != 4+8*count {
+		return nil, fmt.Errorf("mutlog: remove record claims %d ids in %d bytes", count, len(body))
+	}
+	ids := make([]int, count)
+	for i := range ids {
+		v := binary.LittleEndian.Uint64(body[4+8*i:])
+		if v > 1<<40 {
+			return nil, fmt.Errorf("mutlog: remove record id %d out of range", v)
+		}
+		ids[i] = int(v)
+	}
+	return ids, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

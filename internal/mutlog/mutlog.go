@@ -58,6 +58,7 @@ package mutlog
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -88,6 +89,12 @@ type Config struct {
 	// the oldest pending event has waited this long. Default 10ms; negative
 	// disables the background flusher (explicit Flush / MaxEvents only).
 	MaxDelay time.Duration
+	// Journal, when non-nil, receives a write-ahead record of every
+	// accepted event before the log's state changes, plus a marker after
+	// every successful non-empty apply — the WAL that crash recovery
+	// replays (see Replay and journal.go). A failed journal write rejects
+	// the enqueue, so the journal never lags the log.
+	Journal io.Writer
 }
 
 // Defaults documented on Config.
@@ -122,6 +129,12 @@ type Stats struct {
 	// Cancelled counts add/remove pairs annihilated inside the log (each
 	// pair is two enqueued events that never reached the index).
 	Cancelled int64
+	// JournalErrors counts failed writes of post-apply journal markers. A
+	// marker failure means the on-disk journal no longer matches the
+	// applied state: the journal must be considered broken and replaced by
+	// a fresh snapshot (enqueue-side journal failures, by contrast, reject
+	// the enqueue and keep journal and log consistent).
+	JournalErrors int64
 }
 
 // Handle identifies one enqueued item across the flush boundary; see the
@@ -154,6 +167,16 @@ type Log struct {
 	closed  bool
 	liveN   int   // item count of the live index at the last flush
 	removed []int // pending removals, ascending live-index ids
+	// Write-ahead journal state (journal.go): seq numbers every accepted
+	// event and apply marker; appliedSeq is the seq of the last marker —
+	// every event with a smaller seq is reflected in the live index, every
+	// pending event has a larger one. replaying suppresses the size and
+	// staleness triggers so Replay reproduces the recorded flush boundaries
+	// exactly.
+	journal    io.Writer
+	seq        uint64
+	appliedSeq uint64
+	replaying  bool
 	// Pending adds, parallel slices in enqueue order. Cancelled rows stay in
 	// place (handle positions reference indexes) until the batch clears.
 	addRows   [][]float64
@@ -196,6 +219,7 @@ func New(applier Applier, cfg Config) (*Log, error) {
 		applier:   applier,
 		maxEvents: cfg.MaxEvents,
 		maxDelay:  cfg.MaxDelay,
+		journal:   cfg.Journal,
 		liveN:     n,
 		kick:      make(chan struct{}, 1),
 		stop:      make(chan struct{}),
@@ -243,10 +267,16 @@ func (l *Log) Add(items *mat.Matrix) ([]Handle, error) {
 	if l.closed {
 		return nil, ErrClosed
 	}
+	if l.addCols != 0 && items.Cols() != l.addCols {
+		return nil, fmt.Errorf("mutlog: new items have %d factors, pending adds have %d", items.Cols(), l.addCols)
+	}
+	// Write-ahead: the event reaches the journal before any state changes;
+	// a failed write rejects the enqueue outright.
+	if err := l.journalAddLocked(items); err != nil {
+		return nil, err
+	}
 	if l.addCols == 0 {
 		l.addCols = items.Cols()
-	} else if items.Cols() != l.addCols {
-		return nil, fmt.Errorf("mutlog: new items have %d factors, pending adds have %d", items.Cols(), l.addCols)
 	}
 	prev := l.pendingLocked()
 	handles := make([]Handle, items.Rows())
@@ -319,6 +349,10 @@ func (l *Log) Remove(ids []int) error {
 		}
 		cancels = append(cancels, aliveIdx[id-live])
 	}
+	// Write-ahead: journal the virtual-corpus ids exactly as validated.
+	if err := l.journalRemoveLocked(sortedIDs); err != nil {
+		return err
+	}
 	prev := l.pendingLocked()
 	if len(liveIDs) > 0 {
 		l.removed = mergeSorted(l.removed, liveIDs)
@@ -356,7 +390,20 @@ func (l *Log) Cancel(h Handle) error {
 	if l.liveN-len(l.removed)+l.aliveAdds <= 1 {
 		return fmt.Errorf("mutlog: cancelling handle %d would empty the corpus", h)
 	}
-	l.cancelRowLocked(l.handles[h].pos)
+	// Journal the cancellation as the Remove it is sugar for — by the
+	// add's current virtual-corpus id, never by handle number (handle
+	// numbering restarts in a fresh log, virtual ids replay exactly).
+	pos := l.handles[h].pos
+	vid := l.liveN - len(l.removed)
+	for i := 0; i < pos; i++ {
+		if l.addAlive[i] {
+			vid++
+		}
+	}
+	if err := l.journalRemoveLocked([]int{vid}); err != nil {
+		return err
+	}
+	l.cancelRowLocked(pos)
 	l.clearIfEmptyLocked()
 	return nil
 }
@@ -430,8 +477,10 @@ func (l *Log) Close() error {
 func (l *Log) pendingLocked() int { return l.aliveAdds + len(l.removed) }
 
 // armLocked starts the staleness clock when the batch gains its first event.
+// Suppressed during Replay: recorded flush markers, not wall-clock deadlines,
+// decide when a replayed batch applies.
 func (l *Log) armLocked(prevPending int) {
-	if l.maxDelay <= 0 || prevPending > 0 || l.pendingLocked() == 0 {
+	if l.replaying || l.maxDelay <= 0 || prevPending > 0 || l.pendingLocked() == 0 {
 		return
 	}
 	l.deadline = time.Now().Add(l.maxDelay)
@@ -445,7 +494,7 @@ func (l *Log) armLocked(prevPending int) {
 // counted (FlushErrors) and retried by a later flush rather than surfaced
 // through the enqueue call, whose own error reports enqueue validity only.
 func (l *Log) maybeSizeFlushLocked() {
-	if l.maxEvents <= 0 || l.pendingLocked() < l.maxEvents {
+	if l.replaying || l.maxEvents <= 0 || l.pendingLocked() < l.maxEvents {
 		return
 	}
 	if err := l.flushLocked(); err != nil {
@@ -561,6 +610,16 @@ func (l *Log) flushLocked() error {
 	}
 	l.stats.Flushes++
 	l.clearBatchLocked()
+	// The apply succeeded: advance the applied-seq watermark past every
+	// event this flush consumed, then record the marker. The watermark
+	// moves even if the marker write fails — in-memory state (and any
+	// snapshot taken from it) must reflect what the index now holds; the
+	// journal is what broke, and the error (plus Stats.JournalErrors) says
+	// it needs replacing with a fresh snapshot.
+	if err := l.journalMarkerLocked(); err != nil {
+		l.stats.JournalErrors++
+		return err
+	}
 	return nil
 }
 

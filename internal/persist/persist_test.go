@@ -1,0 +1,319 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optimus/internal/mat"
+)
+
+func testMatrix(rows, cols int) *mat.Matrix {
+	m := mat.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] = float64(r*cols+c) + 0.25
+		}
+	}
+	return m
+}
+
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Section("alpha", func(e *Encoder) {
+		e.U8(7)
+		e.U64(1 << 60)
+		e.Int(42)
+		e.F64(3.5)
+		e.String("hello")
+		e.Ints([]int{5, 0, 9})
+		e.I32s([]int32{-1, 2})
+		e.F64s([]float64{1.5, -2.5})
+		e.Bytes([]byte{0xde, 0xad})
+	})
+	w.Section("beta", func(e *Encoder) {
+		e.Matrix(testMatrix(3, 4))
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	raw := writeSample(t)
+	r, err := NewReader(bytes.NewReader(raw), "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Section("alpha")
+	if v := d.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := d.U64(); v != 1<<60 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := d.Int(); v != 42 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := d.F64(); v != 3.5 {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := d.Ints(); len(v) != 3 || v[0] != 5 || v[1] != 0 || v[2] != 9 {
+		t.Fatalf("Ints = %v", v)
+	}
+	if v := d.I32s(); len(v) != 2 || v[0] != -1 || v[1] != 2 {
+		t.Fatalf("I32s = %v", v)
+	}
+	if v := d.F64s(); len(v) != 2 || v[0] != 1.5 || v[1] != -2.5 {
+		t.Fatalf("F64s = %v", v)
+	}
+	if v := d.Bytes(); len(v) != 2 || v[0] != 0xde || v[1] != 0xad {
+		t.Fatalf("Bytes = %v", v)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	d = r.Section("beta")
+	m := d.Matrix()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := testMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("matrix %dx%d", m.Rows(), m.Cols())
+	}
+	for r0 := 0; r0 < 3; r0++ {
+		for c := 0; c < 4; c++ {
+			if m.At(r0, c) != want.At(r0, c) {
+				t.Fatalf("at %d,%d: %v", r0, c, m.At(r0, c))
+			}
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderAnyKind(t *testing.T) {
+	raw := writeSample(t)
+	r, err := NewReader(bytes.NewReader(raw), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != "Test" {
+		t.Fatalf("kind %q", r.Kind())
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	raw := writeSample(t)
+	cases := map[string]func([]byte) []byte{
+		"bad magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":  func(b []byte) []byte { b[4] = 9; return b },
+		"short header": func(b []byte) []byte { return b[:6] },
+	}
+	for name, corrupt := range cases {
+		b := corrupt(append([]byte(nil), raw...))
+		if _, err := NewReader(bytes.NewReader(b), "Test"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := NewReader(bytes.NewReader(raw), "Other"); err == nil {
+		t.Error("kind mismatch: accepted")
+	}
+}
+
+func TestSectionErrors(t *testing.T) {
+	raw := writeSample(t)
+
+	// Wrong section name is an error, not a skip.
+	r, _ := NewReader(bytes.NewReader(raw), "Test")
+	d := r.Section("beta")
+	if d.Err() == nil {
+		t.Error("out-of-order section read accepted")
+	}
+	if r.Close() == nil {
+		t.Error("Close did not report the section error")
+	}
+
+	// A body bit flip must fail the CRC.
+	flipped := append([]byte(nil), raw...)
+	flipped[30] ^= 1
+	r, err := NewReader(bytes.NewReader(flipped), "Test")
+	if err == nil {
+		d = r.Section("alpha")
+		if d.Err() == nil && r.Section("beta").Err() == nil {
+			t.Error("bit flip survived both section CRCs")
+		}
+	}
+
+	// Truncations anywhere must error, never panic.
+	for n := 0; n < len(raw); n += 7 {
+		r, err := NewReader(bytes.NewReader(raw[:n]), "Test")
+		if err != nil {
+			continue
+		}
+		da := r.Section("alpha")
+		db := r.Section("beta")
+		if da.Err() == nil && db.Err() == nil && n < len(raw)-1 {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+}
+
+// TestTrailingSectionsIgnored pins the forward-compatibility rule: within a
+// version, a reader that consumed its known sections tolerates trailing
+// sections appended by a newer writer.
+func TestTrailingSectionsIgnored(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Section("known", func(e *Encoder) { e.Int(1) })
+	w.Section("future", func(e *Encoder) { e.String("a section this reader predates") })
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Section("known")
+	if v := d.Int(); v != 1 || d.Err() != nil {
+		t.Fatalf("known section: %d, %v", v, d.Err())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("trailing section broke Close: %v", err)
+	}
+}
+
+// TestCountGuards pins the corrupt-count defense: a count claiming more
+// elements than the section holds fails before allocation.
+func TestCountGuards(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "Test")
+	w.Section("s", func(e *Encoder) {
+		e.U64(1 << 50) // an absurd count with no payload behind it
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Section("s")
+	if v := d.F64s(); v != nil || d.Err() == nil {
+		t.Fatalf("giant count decoded: %v, err %v", v, d.Err())
+	}
+}
+
+func TestDecoderBytesFreshCopy(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "Test")
+	w.Section("s", func(e *Encoder) { e.Bytes([]byte{1, 2, 3}) })
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r, _ := NewReader(bytes.NewReader(raw), "Test")
+	d := r.Section("s")
+	got := d.Bytes()
+	for i := range raw {
+		raw[i] = 0xff
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("decoded bytes alias the stream: %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := NewByKind("no-such-kind"); err == nil {
+		t.Error("unknown kind resolved")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("persist-test-kind", func() LoadSaver { return nil })
+	Register("persist-test-kind", func() LoadSaver { return nil })
+}
+
+func TestLoadAnyErrors(t *testing.T) {
+	if _, err := LoadAny(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage stream loaded")
+	}
+	if _, err := LoadAny(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream loaded")
+	}
+	// A valid header whose kind has no registered factory.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "UnregisteredKind")
+	w.Section("s", func(e *Encoder) { e.Int(1) })
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAny(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("unregistered kind loaded")
+	}
+}
+
+// TestMatrixAlignment pins the OMXA promise: every matrix payload lands on
+// an 8-byte absolute offset regardless of what precedes it.
+func TestMatrixAlignment(t *testing.T) {
+	for pre := 0; pre < 9; pre++ {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "Test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pad := make([]byte, pre)
+		w.Section("s", func(e *Encoder) {
+			e.Bytes(pad)
+			e.Matrix(testMatrix(2, 3))
+		})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		// Find the OMXA record and check its payload's absolute offset.
+		idx := bytes.Index(raw, []byte("OMXA"))
+		if idx < 0 {
+			t.Fatal("no OMXA record")
+		}
+		padLen := int(raw[idx+20])
+		payload := idx + 21 + padLen
+		if payload%8 != 0 {
+			t.Fatalf("pre=%d: payload at %d (pad %d) is unaligned", pre, payload, padLen)
+		}
+		// And the stream still round-trips.
+		r, err := NewReader(bytes.NewReader(raw), "Test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := r.Section("s")
+		d.Bytes()
+		m := d.Matrix()
+		if err := d.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if m.At(1, 2) != testMatrix(2, 3).At(1, 2) {
+			t.Fatal("matrix mangled")
+		}
+	}
+}

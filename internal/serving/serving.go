@@ -119,6 +119,11 @@ type Server struct {
 	generation uint64
 	log        *mutlog.Log
 	closed     bool
+	// snapshotSeq is the journal watermark embedded in the snapshot this
+	// server was restored from (zero for servers built fresh); Replay skips
+	// journal records at or below it. Set once by Restore, before the
+	// server is shared.
+	snapshotSeq uint64
 }
 
 // ErrClosed is returned by Query after Close.

