@@ -17,6 +17,14 @@
 //
 //	mipsquery -users u.omx -items i.omx -k 10 -solver lemp -save idx.osnp
 //	mipsquery -snapshot idx.osnp -k 10 -user 42
+//
+// -shards N (N > 1) runs the chosen solver item-sharded under the by-norm
+// partitioner, and -schedule selects the wave schedule (auto | single |
+// two-wave | cascade | pipelined) — cross-shard threshold propagation.
+// -schedule alone also re-schedules a sharded -snapshot:
+//
+//	mipsquery -users u.omx -items i.omx -k 10 -solver lemp -shards 4 -schedule cascade
+//	mipsquery -snapshot sharded.osnp -k 10 -schedule pipelined
 package main
 
 import (
@@ -34,7 +42,7 @@ import (
 	"optimus/internal/mat"
 	"optimus/internal/mips"
 	"optimus/internal/persist"
-	_ "optimus/internal/shard" // register snapshot kind
+	"optimus/internal/shard"
 	"optimus/internal/topk"
 )
 
@@ -50,6 +58,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for clustering/sampling")
 		snapPath  = flag.String("snapshot", "", "load a saved index snapshot instead of building (-users/-items not needed)")
 		savePath  = flag.String("save", "", "write the built index as a snapshot to this path")
+		shards    = flag.Int("shards", 0, "item-shard the solver across this many by-norm shards (0/1 = unsharded)")
+		schedule  = flag.String("schedule", "", "wave schedule for a sharded solver: auto | single | two-wave | cascade | pipelined")
 	)
 	flag.Parse()
 	if *snapPath == "" && (*usersPath == "" || *itemsPath == "") {
@@ -63,6 +73,16 @@ func main() {
 		s, err := loadSnapshot(*snapPath, *threads)
 		if err != nil {
 			fatal(err)
+		}
+		if *schedule != "" {
+			sh, ok := s.(*shard.Sharded)
+			if !ok {
+				fatal(fmt.Errorf("-schedule needs a sharded snapshot, got %s", s.Name()))
+			}
+			if err := sh.SetScheduleByName(*schedule); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("schedule %s (active %s)\n", *schedule, sh.ActiveScheduleName())
 		}
 		start := time.Now()
 		results, err = s.QueryAll(*k)
@@ -88,6 +108,9 @@ func main() {
 		var built mips.Solver
 		start := time.Now()
 		if *solver == "optimus" {
+			if *shards > 1 {
+				fatal(fmt.Errorf("-shards does not combine with -solver optimus (shard an explicit solver)"))
+			}
 			opt := core.NewOptimus(core.OptimusConfig{Seed: *seed, Threads: *threads},
 				core.NewMaximus(core.MaximusConfig{Seed: *seed, Threads: *threads}),
 				lemp.New(lemp.Config{Seed: *seed, Threads: *threads}))
@@ -108,8 +131,30 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			if *shards > 1 {
+				sh := shard.New(shard.Config{
+					Shards:      *shards,
+					Partitioner: shard.ByNorm(),
+					Threads:     *threads,
+					Factory: func() mips.Solver {
+						sub, _ := newSolver(*solver, *threads, *seed)
+						return sub
+					},
+				})
+				if *schedule != "" {
+					if err := sh.SetScheduleByName(*schedule); err != nil {
+						fatal(err)
+					}
+				}
+				s = sh
+			} else if *schedule != "" {
+				fatal(fmt.Errorf("-schedule requires -shards > 1 (or a sharded -snapshot)"))
+			}
 			if err := s.Build(users, items); err != nil {
 				fatal(err)
+			}
+			if sh, ok := s.(*shard.Sharded); ok {
+				fmt.Printf("sharded %d ways by norm, schedule %s\n", *shards, sh.ActiveScheduleName())
 			}
 			results, err = s.QueryAll(*k)
 			if err != nil {

@@ -144,3 +144,71 @@ func TestGoldenVersionSkew(t *testing.T) {
 		t.Fatalf("unskewed control failed: %v", err)
 	}
 }
+
+// TestGoldenScheduleEvolution pins the additive-evolution contract of the
+// wave-schedule section: the committed v1 sharded golden (written before
+// schedules existed) still loads and resolves to the historical two-wave
+// default, a re-save of it stays byte-identical (the default writes no
+// schedule section), and a schedule-bearing snapshot — the same stream plus
+// one trailing section — round-trips the requested schedule with identical
+// answers.
+func TestGoldenScheduleEvolution(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden", "sharded.osnp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSolver(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := loaded.(*Sharded)
+	if !ok {
+		t.Fatalf("sharded golden loaded as %T", loaded)
+	}
+	if sh.RequestedSchedule() != ScheduleAuto {
+		t.Fatalf("pre-schedule golden requests %v, want auto", sh.RequestedSchedule())
+	}
+	if sh.ActiveSchedule() != ScheduleTwoWave {
+		t.Fatalf("pre-schedule golden resolves to %v, want two-wave", sh.ActiveSchedule())
+	}
+	const k = 5
+	want, err := sh.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var resave bytes.Buffer
+	if err := SaveSolver(&resave, sh); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resave.Bytes(), golden) {
+		t.Fatalf("re-saving the golden under the schedule-extended writer changed it "+
+			"(%d bytes vs %d committed) — the default must write no schedule section",
+			resave.Len(), len(golden))
+	}
+
+	if err := sh.SetSchedule(ScheduleCascade); err != nil {
+		t.Fatal(err)
+	}
+	var extended bytes.Buffer
+	if err := SaveSolver(&extended, sh); err != nil {
+		t.Fatal(err)
+	}
+	if extended.Len() <= len(golden) || !bytes.Equal(extended.Bytes()[:len(golden)], golden) {
+		t.Fatal("a schedule-bearing snapshot must be the golden stream plus a trailing section")
+	}
+	reloaded, err := LoadSolver(bytes.NewReader(extended.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2 := reloaded.(*Sharded)
+	if sh2.RequestedSchedule() != ScheduleCascade || sh2.ActiveSchedule() != ScheduleCascade {
+		t.Fatalf("reloaded schedule %v/%v, want cascade/cascade",
+			sh2.RequestedSchedule(), sh2.ActiveSchedule())
+	}
+	got, err := sh2.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEntries(t, want, got)
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"optimus/internal/core"
+	"optimus/internal/lemp"
+	"optimus/internal/mips"
+	"optimus/internal/shard"
+	"optimus/internal/topk"
+)
+
+// Waves sweeps the wave schedules of the sharded executor — single (blind),
+// two-wave (head-seeded), cascade (serial waves, union-k floors), and
+// pipelined (concurrent shards over a live floor board) — over the by-norm
+// partition for the pruning sub-solvers. The headline metric is candidates
+// scanned per user, a deterministic counter for every schedule except
+// pipelined (whose floors race shard completion, so its scans vary run to
+// run; its row is marked). "single" doubles as the floors-off lesion: the
+// tail-cut column is each schedule's tail-scan saving against it. With
+// verification on, every schedule's results are checked entry-for-entry
+// against the single-wave fan-out — schedules may only change work, never
+// answers.
+func (r *Runner) Waves() error {
+	const k = 10
+	r.printf("== Wave scheduling: schedule sweep (by-norm, K=%d): candidates scanned per wave ==\n", k)
+	schedules := []shard.Schedule{shard.SingleWave, shard.TwoWave, shard.Cascade, shard.Pipelined}
+	for _, name := range r.modelsOrDefault([]string{"netflix-nomad-50", "r2-nomad-50", "kdd-nomad-50"}) {
+		m, err := r.generate(name)
+		if err != nil {
+			return err
+		}
+		nUsers := m.Users.Rows()
+		r.printf("%s (%d users x %d items)\n", name, nUsers, m.Items.Rows())
+		r.printf("  %-10s %4s %-10s %12s %12s %12s %11s %10s %9s\n",
+			"solver", "S", "schedule", "head-scan", "tail-scan", "total-scan", "scan/user", "tail-cut", "query")
+		for _, sub := range []string{"LEMP", "MAXIMUS"} {
+			factory := r.waveFactory(sub)
+			for _, shards := range []int{4, 8} {
+				sh := shard.New(shard.Config{
+					Shards:      shards,
+					Partitioner: shard.ByNorm(),
+					Threads:     r.opt.Threads,
+					Factory:     factory,
+				})
+				if err := sh.Build(m.Users, m.Items); err != nil {
+					return fmt.Errorf("waves %s S=%d build: %w", sub, shards, err)
+				}
+				var blindTail int64
+				var blindRes [][]topk.Entry
+				for _, sched := range schedules {
+					if err := sh.SetSchedule(sched); err != nil {
+						return err
+					}
+					sh.ResetScanStats()
+					qt, res, err := r.queryOnly(sh, m, k)
+					if err != nil {
+						return fmt.Errorf("waves %s S=%d %s: %w", sub, shards, sched, err)
+					}
+					if r.opt.Verify {
+						if sched == shard.SingleWave {
+							blindRes = res
+						} else {
+							for u := range blindRes {
+								if !sameItems(blindRes[u], res[u]) {
+									return fmt.Errorf("waves %s S=%d %s: user %d diverges from single-wave (%v vs %v)",
+										sub, shards, sched, u, res[u], blindRes[u])
+								}
+							}
+						}
+					}
+					waves := sh.WaveScanStats()
+					var head, tail int64
+					for wi, st := range waves {
+						if wi == 0 {
+							head = st.Scanned
+						} else {
+							tail += st.Scanned
+						}
+					}
+					cut := "-"
+					if sched == shard.SingleWave {
+						// The blind fan-out has no wave split; attribute its
+						// head shard's share for a like-for-like tail-cut.
+						per := sh.ShardScanStats()
+						head, tail = per[0].Scanned, 0
+						for _, st := range per[1:] {
+							tail += st.Scanned
+						}
+						blindTail = tail
+					} else if blindTail > 0 {
+						cut = fmt.Sprintf("%.1f%%", 100*(1-float64(tail)/float64(blindTail)))
+					}
+					label := sched.String()
+					if sched == shard.Pipelined {
+						label += "*" // timing-dependent scans
+					}
+					r.printf("  %-10s %4d %-10s %12d %12d %12d %11.1f %10s %7sms\n",
+						sub, shards, label, head, tail, head+tail,
+						float64(head+tail)/float64(nUsers), cut, ms(qt))
+					if sched == shard.Cascade {
+						r.printf("  %-10s %4s %-10s per-wave: %s\n", "", "", "",
+							waveList(waves))
+					}
+				}
+			}
+		}
+		r.printf("  (* pipelined scan counts race shard completion and vary run to run)\n\n")
+	}
+	return nil
+}
+
+// waveFactory returns the sub-solver factory for the waves experiment.
+func (r *Runner) waveFactory(sub string) mips.Factory {
+	switch sub {
+	case "LEMP":
+		return func() mips.Solver {
+			return lemp.New(lemp.Config{Threads: r.opt.Threads, Seed: r.opt.Seed + 11})
+		}
+	case "MAXIMUS":
+		return func() mips.Solver {
+			return core.NewMaximus(core.MaximusConfig{Threads: r.opt.Threads, Seed: r.opt.Seed + 7})
+		}
+	default:
+		panic(fmt.Sprintf("bench: unknown wave sub-solver %q", sub))
+	}
+}
+
+// waveList renders per-wave scan counts compactly.
+func waveList(waves []mips.ScanStats) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, st := range waves {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", st.Scanned)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

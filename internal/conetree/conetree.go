@@ -277,7 +277,7 @@ func bound(n *node, u []float64, unorm float64) float64 {
 
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
-	return x.query(userIDs, k, nil)
+	return x.query(userIDs, k, nil, nil)
 }
 
 // QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
@@ -289,10 +289,22 @@ func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]top
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, floors)
+	return x.query(userIDs, k, floors, nil)
 }
 
-func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+// QueryWithFloorBoard implements mips.LiveFloorQuerier: the descent re-reads
+// the user's board cell at every internal node it enters, so a floor raised
+// by a concurrently finishing shard tightens the branch-and-bound threshold
+// for the rest of this user's descent. Per-node polling is the tree's natural
+// pruning granularity — the same place Threshold is consulted.
+func (x *Index) QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoard) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloorBoard(userIDs, board); err != nil {
+		return nil, err
+	}
+	return x.query(userIDs, k, nil, board)
+}
+
+func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
 	if x.root == nil {
 		return nil, fmt.Errorf("conetree: Query before Build")
 	}
@@ -311,9 +323,11 @@ func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, e
 			floor := math.Inf(-1)
 			if floors != nil {
 				floor = floors[qi]
+			} else if board != nil {
+				floor = board.Floor(qi)
 			}
 			h := topk.NewSeeded(k, floor)
-			x.search(x.root, urow, mat.Norm(urow), h, &scanned)
+			x.search(x.root, urow, mat.Norm(urow), h, board, qi, &scanned)
 			out[qi] = h.Sorted()
 		}
 		x.scanned.Add(scanned)
@@ -337,14 +351,19 @@ func (x *Index) QueryAll(k int) ([][]topk.Entry, error) {
 // first and pruned against the heap threshold (with the repository's
 // floating-point guard band). A seeded heap reports its floor as the
 // threshold before it fills, so a floored query prunes from the first
-// descent. scanned accumulates leaf-item evaluations.
-func (x *Index) search(n *node, u []float64, unorm float64, h *topk.Heap, scanned *int64) {
+// descent. With a live board, each internal-node entry re-polls the user's
+// cell and tightens the heap floor before the children's bounds are judged.
+// scanned accumulates leaf-item evaluations.
+func (x *Index) search(n *node, u []float64, unorm float64, h *topk.Heap, board *topk.FloorBoard, cell int, scanned *int64) {
 	if n.left == nil {
 		*scanned += int64(n.hi - n.lo)
 		for s := n.lo; s < n.hi; s++ {
 			h.Push(x.ids[s], blas.Dot(u, x.reordered.Row(s)))
 		}
 		return
+	}
+	if board != nil {
+		h.RaiseFloor(board.Floor(cell))
 	}
 	bl := bound(n.left, u, unorm)
 	br := bound(n.right, u, unorm)
@@ -355,10 +374,10 @@ func (x *Index) search(n *node, u []float64, unorm float64, h *topk.Heap, scanne
 		bFirst, bSecond = br, bl
 	}
 	if thr, ok := h.Threshold(); !ok || bFirst >= thr-slack(thr) {
-		x.search(first, u, unorm, h, scanned)
+		x.search(first, u, unorm, h, board, cell, scanned)
 	}
 	if thr, ok := h.Threshold(); !ok || bSecond >= thr-slack(thr) {
-		x.search(second, u, unorm, h, scanned)
+		x.search(second, u, unorm, h, board, cell, scanned)
 	}
 }
 

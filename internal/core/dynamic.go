@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"optimus/internal/mat"
@@ -132,9 +133,18 @@ func (m *Maximus) resizeBlock(c int) {
 		if len(m.members[c]) > blockSampleUsers {
 			step = len(m.members[c]) / blockSampleUsers
 		}
+		floors := m.estFloors
+		if len(floors) != m.users.Rows() {
+			floors = nil
+		}
 		var visited, sampled int
 		for i := 0; i < len(m.members[c]); i += step {
-			visited += m.walkLength(m.members[c][i], c)
+			u := m.members[c][i]
+			seed := math.Inf(-1)
+			if floors != nil {
+				seed = floors[u]
+			}
+			visited += m.walkLength(u, c, seed)
 			sampled++
 		}
 		bl = visited / (2 * sampled)

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"optimus/internal/dataset"
+	"optimus/internal/mips"
+	"optimus/internal/topk"
+)
+
+// TestMaximusFloorAwareEstimation pins the construction side of floor
+// feedback (mips.FloorAwareEstimator) in the scenario it exists for: a tail
+// shard rebuilt with the floors the wave scheduler observed — per-user k-th
+// scores over the *global* corpus, typically above anything the tail's items
+// can score. Seeded with such floors, the sampled sizing walks terminate
+// where floored service queries will, so the shared blocks come out strictly
+// smaller than the cold build's (and never larger), while answers stay exact
+// and entry-identical. A floors slice whose length does not match the user
+// count describes a different corpus and is ignored.
+func TestMaximusFloorAwareEstimation(t *testing.T) {
+	cfg, err := dataset.ByName("kdd-nomad-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dataset.Generate(cfg.Scale(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+
+	// Global floors: each user's k-th score over the full corpus.
+	global := NewMaximus(MaximusConfig{Seed: 1})
+	if err := global.Build(m.Users, m.Items); err != nil {
+		t.Fatal(err)
+	}
+	full, err := global.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floors := make([]float64, m.Users.Rows())
+	for u := range floors {
+		floors[u] = full[u][k-1].Score
+	}
+
+	// The tail "shard": the low-norm half of the items.
+	norms := m.Items.RowNorms()
+	order := make([]int, len(norms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return norms[order[a]] > norms[order[b]] })
+	tail := m.Items.SelectRows(order[len(order)/2:])
+
+	cold := NewMaximus(MaximusConfig{Seed: 1})
+	if err := cold.Build(m.Users, tail); err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBlocks := cold.BlockSizes()
+
+	warm := NewMaximus(MaximusConfig{Seed: 1})
+	warm.SetEstimationFloors(floors)
+	if err := warm.Build(m.Users, tail); err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyAll(m.Users, tail, got, k, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if len(got[u]) != len(want[u]) {
+			t.Fatalf("user %d: %d entries, want %d", u, len(got[u]), len(want[u]))
+		}
+		for i := range want[u] {
+			if got[u][i].Item != want[u][i].Item {
+				t.Fatalf("user %d rank %d: item %d, want %d — estimation floors must not change answers",
+					u, i, got[u][i].Item, want[u][i].Item)
+			}
+		}
+		// A different block layout can move the last ulp of a score (blocked
+		// GEMM vs plain dots), never membership or order.
+		if !topk.Equal(want[u], got[u], 1e-10) {
+			t.Fatalf("user %d: scores diverge beyond kernel rounding: %v vs %v", u, got[u], want[u])
+		}
+	}
+	warmBlocks := warm.BlockSizes()
+	if len(warmBlocks) != len(coldBlocks) {
+		t.Fatalf("%d clusters floored vs %d cold", len(warmBlocks), len(coldBlocks))
+	}
+	var coldTotal, warmTotal int
+	for c := range coldBlocks {
+		if warmBlocks[c] > coldBlocks[c] {
+			t.Fatalf("cluster %d: floored block %d > cold block %d — floors can only shrink walks",
+				c, warmBlocks[c], coldBlocks[c])
+		}
+		coldTotal += coldBlocks[c]
+		warmTotal += warmBlocks[c]
+	}
+	if coldTotal == 0 {
+		t.Fatal("degenerate baseline: the cold tail build formed no blocks")
+	}
+	if warmTotal >= coldTotal {
+		t.Fatalf("floored blocks total %d, cold %d — global floors must shrink the tail estimate",
+			warmTotal, coldTotal)
+	}
+	t.Logf("tail block totals: cold=%d floored=%d", coldTotal, warmTotal)
+
+	// Mismatched length: ignored, blocks match the cold build.
+	stale := NewMaximus(MaximusConfig{Seed: 1})
+	stale.SetEstimationFloors(floors[:10])
+	if err := stale.Build(m.Users, tail); err != nil {
+		t.Fatal(err)
+	}
+	staleBlocks := stale.BlockSizes()
+	for c := range coldBlocks {
+		if staleBlocks[c] != coldBlocks[c] {
+			t.Fatalf("cluster %d: mismatched-length floors changed block %d -> %d",
+				c, coldBlocks[c], staleBlocks[c])
+		}
+	}
+}

@@ -114,6 +114,12 @@ type Maximus struct {
 	// gen is the mips.ItemMutator mutation stamp (see dynamic.go).
 	gen uint64
 
+	// estFloors, when set via SetEstimationFloors (mips.FloorAwareEstimator),
+	// seeds the next estimateBlocks' sampled walks: per-user lower bounds on
+	// the top score, indexed by user row. A performance hint only — it never
+	// touches the query path.
+	estFloors []float64
+
 	timings MaximusTimings
 }
 
@@ -315,6 +321,18 @@ func sortClusterList(ids []int32, bound []float64) {
 	})
 }
 
+// SetEstimationFloors implements mips.FloorAwareEstimator: floors[u] is a
+// lower bound on user u's top score that the next Build's estimateBlocks
+// walks seed their running best with. A walk that starts at the floor
+// terminates where the served queries will actually terminate — under a high
+// floor, far earlier — so the shared block is sized for the floored regime
+// instead of the cold one. The floors persist until replaced; a length that
+// does not match the Build's user count is ignored (the hint describes a
+// different corpus).
+func (m *Maximus) SetEstimationFloors(floors []float64) {
+	m.estFloors = append(m.estFloors[:0], floors...)
+}
+
 // blockSampleUsers is how many members per cluster the cost-estimation stage
 // walks when sizing the shared block.
 const blockSampleUsers = 16
@@ -339,6 +357,14 @@ func (m *Maximus) estimateBlocks() {
 	}
 	nClusters := m.centroids.Rows()
 	nItems := m.items.Rows()
+	// Floor-aware estimation: when the caller supplied per-user floors (the
+	// sharded executor replays each shard's observed floors before a rebuild),
+	// the sampled walks start from them, shrinking the estimated walk — and
+	// therefore the shared block — toward what floored service really scans.
+	floors := m.estFloors
+	if len(floors) != m.users.Rows() {
+		floors = nil
+	}
 	parallel.ForThreads(m.cfg.Threads, nClusters, 1, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			if len(m.members[c]) == 0 {
@@ -352,7 +378,12 @@ func (m *Maximus) estimateBlocks() {
 				}
 				var visited, sampled int
 				for i := 0; i < len(m.members[c]); i += step {
-					visited += m.walkLength(m.members[c][i], c)
+					u := m.members[c][i]
+					seed := math.Inf(-1)
+					if floors != nil {
+						seed = floors[u]
+					}
+					visited += m.walkLength(u, c, seed)
 					sampled++
 				}
 				bl = visited / (2 * sampled)
@@ -378,13 +409,15 @@ func (m *Maximus) estimateBlocks() {
 }
 
 // walkLength runs the unblocked K=1 walk for user u in cluster c and returns
-// the number of list positions visited before early termination.
-func (m *Maximus) walkLength(u, c int) int {
+// the number of list positions visited before early termination. floor seeds
+// the running best (-Inf for the cold walk): the global top score is >= any
+// top-k floor, so a k-th-score floor is a valid seed for the K=1 walk too.
+func (m *Maximus) walkLength(u, c int, floor float64) int {
 	list := m.lists[c]
 	bounds := m.bounds[c]
 	urow := m.users.Row(u)
 	unorm := m.userNorm[u]
-	best := math.Inf(-1)
+	best := floor
 	for pos := range list {
 		if pos > 0 && bounds[pos]*unorm < best-slack(best) {
 			return pos
@@ -451,16 +484,31 @@ func (m *Maximus) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]t
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	res, _, err := m.queryStats(userIDs, k, floors)
+	res, _, err := m.queryStats(userIDs, k, floors, nil)
+	return res, err
+}
+
+// QueryWithFloorBoard implements mips.LiveFloorQuerier: the board seeds each
+// user's heap like a static floor, and the sorted-bound walk re-polls the
+// user's cell every floorPollInterval positions, so a bound published by a
+// concurrently finishing shard terminates this walk early. The shared
+// blocked prefix still runs in full (block sizes are fixed at Build — the
+// construction-side answer to that is SetEstimationFloors). See the
+// contract on mips.LiveFloorQuerier.
+func (m *Maximus) QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoard) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloorBoard(userIDs, board); err != nil {
+		return nil, err
+	}
+	res, _, err := m.queryStats(userIDs, k, nil, board)
 	return res, err
 }
 
 // QueryStats is Query with traversal instrumentation.
 func (m *Maximus) QueryStats(userIDs []int, k int) ([][]topk.Entry, MaximusQueryStats, error) {
-	return m.queryStats(userIDs, k, nil)
+	return m.queryStats(userIDs, k, nil, nil)
 }
 
-func (m *Maximus) queryStats(userIDs []int, k int, floors []float64) ([][]topk.Entry, MaximusQueryStats, error) {
+func (m *Maximus) queryStats(userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, MaximusQueryStats, error) {
 	var st MaximusQueryStats
 	if m.lists == nil {
 		return nil, st, fmt.Errorf("core: MAXIMUS Query before Build")
@@ -486,7 +534,7 @@ func (m *Maximus) queryStats(userIDs []int, k int, floors []float64) ([][]topk.E
 		if len(byCluster[c]) == 0 {
 			continue
 		}
-		bt, v := m.queryCluster(c, byCluster[c], userIDs, k, floors, out)
+		bt, v := m.queryCluster(c, byCluster[c], userIDs, k, floors, board, out)
 		blockNanos += bt
 		visited[c] = v
 	}
@@ -499,10 +547,16 @@ func (m *Maximus) queryStats(userIDs []int, k int, floors []float64) ([][]topk.E
 	return out, st, nil
 }
 
-// queryCluster answers all queried users of one cluster; floors, when
-// non-nil, is aligned with userIDs. Returns block-GEMM nanoseconds and total
-// list positions visited.
-func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, floors []float64, out [][]topk.Entry) (int64, int64) {
+// floorPollInterval is how many walk positions MAXIMUS scores between
+// re-polls of a live floor board cell: frequent enough that a raised floor
+// cuts the walk promptly, sparse enough that the atomic load stays invisible
+// next to the dot products.
+const floorPollInterval = 128
+
+// queryCluster answers all queried users of one cluster; floors (static) or
+// board (live), when non-nil, are aligned with userIDs. Returns block-GEMM
+// nanoseconds and total list positions visited.
+func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, floors []float64, board *topk.FloorBoard, out [][]topk.Entry) (int64, int64) {
 	list := m.lists[c]
 	bounds := m.bounds[c]
 	nItems := len(list)
@@ -539,6 +593,8 @@ func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, floo
 			floor := math.Inf(-1)
 			if floors != nil {
 				floor = floors[qi]
+			} else if board != nil {
+				floor = board.Floor(qi)
 			}
 			h := topk.NewSeeded(k, floor)
 			start := 0
@@ -565,8 +621,17 @@ func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, floo
 			}
 			// Walk the remainder; terminate when the sorted bound proves no
 			// later entry can displace the heap minimum (or beat the floor:
-			// a seeded heap reports its floor before it fills).
+			// a seeded heap reports its floor before it fills). Under a live
+			// board the cell is re-polled every floorPollInterval positions.
+			poll := 0
 			for pos := start; pos < nItems; pos++ {
+				if board != nil {
+					if poll == 0 {
+						h.RaiseFloor(board.Floor(qi))
+						poll = floorPollInterval
+					}
+					poll--
+				}
 				if thr, ok := h.Threshold(); ok && bounds[pos]*unorm < thr-slack(thr) {
 					break
 				}

@@ -331,7 +331,7 @@ func quantize(m *mat.Matrix, scale float64) ([]int32, []float64) {
 
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
-	return x.query(userIDs, k, nil)
+	return x.query(userIDs, k, nil, nil)
 }
 
 // QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
@@ -345,10 +345,21 @@ func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]top
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, floors)
+	return x.query(userIDs, k, floors, nil)
 }
 
-func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+// QueryWithFloorBoard implements mips.LiveFloorQuerier: the norm-sorted scan
+// re-polls the user's board cell every floorPollInterval items, so floors
+// raised by concurrently finishing shards tighten the whole bound cascade —
+// the norm-walk break, the integer bound, the SVD partial bound — mid-scan.
+func (x *Index) QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoard) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloorBoard(userIDs, board); err != nil {
+		return nil, err
+	}
+	return x.query(userIDs, k, nil, board)
+}
+
+func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
 	if x.tItems == nil {
 		return nil, fmt.Errorf("fexipro: Query before Build")
 	}
@@ -365,8 +376,10 @@ func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, e
 			floor := math.Inf(-1)
 			if floors != nil {
 				floor = floors[qi]
+			} else if board != nil {
+				floor = board.Floor(qi)
 			}
-			out[qi] = x.queryOne(u, k, floor)
+			out[qi] = x.queryOne(u, k, floor, board, qi)
 		}
 		return nil
 	}
@@ -386,8 +399,10 @@ func (x *Index) QueryAll(k int) ([][]topk.Entry, error) {
 
 // queryOne answers one user's top-k, pruning against floor (-Inf = none)
 // from the first candidate: a seeded heap reports its floor as the threshold
-// before it fills, so every `full` guard below fires immediately.
-func (x *Index) queryOne(u, k int, floor float64) []topk.Entry {
+// before it fills, so every `full` guard below fires immediately. With a live
+// board (nil = static floors), cell is the user's board index and the scan
+// re-polls it every floorPollInterval items.
+func (x *Index) queryOne(u, k int, floor float64, board *topk.FloorBoard, cell int) []topk.Entry {
 	f := x.f
 	tu := x.tUsers.Row(u)
 	tuHead := tu[:x.h]
@@ -401,7 +416,15 @@ func (x *Index) queryOne(u, k int, floor float64) []topk.Entry {
 
 	h := topk.NewSeeded(k, floor)
 	n := x.tItems.Rows()
+	poll := 0
 	for s := 0; s < n; s++ {
+		if board != nil {
+			if poll == 0 {
+				h.RaiseFloor(board.Floor(cell))
+				poll = floorPollInterval
+			}
+			poll--
+		}
 		thr, full := h.Threshold()
 		sl := slack(thr)
 		if full && unorm*x.norms[s] < thr-sl {
@@ -481,3 +504,9 @@ func slack(thr float64) float64 {
 // worker pool (internal/parallel): small enough to load-balance the very
 // skewed per-user bound-cascade costs, large enough to amortize dispatch.
 const queryGrain = 64
+
+// floorPollInterval is how many norm-sorted scan positions pass between
+// FloorBoard re-polls in a live-floor query: frequent enough that a raised
+// floor cuts most of the remaining scan, rare enough that the atomic load
+// never shows up next to the integer-bound kernel.
+const floorPollInterval = 128

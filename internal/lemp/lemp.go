@@ -366,7 +366,7 @@ func (x *Index) ResetScanStats() { x.scanned.Store(0) }
 
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
-	return x.query(userIDs, k, nil)
+	return x.query(userIDs, k, nil, nil)
 }
 
 // QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
@@ -377,10 +377,24 @@ func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]top
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, floors)
+	return x.query(userIDs, k, floors, nil)
 }
 
-func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, error) {
+// QueryWithFloorBoard implements mips.LiveFloorQuerier: the board seeds each
+// user's heap exactly like a static floor, and is re-polled at every bucket
+// boundary — the same decision point where the bucket break already fires —
+// so a floor raised by a concurrently finishing shard tightens this walk's
+// break and within-bucket prunes mid-query. See the contract on
+// mips.LiveFloorQuerier for why monotone tightening preserves the
+// floor-prefix result.
+func (x *Index) QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoard) ([][]topk.Entry, error) {
+	if err := mips.ValidateFloorBoard(userIDs, board); err != nil {
+		return nil, err
+	}
+	return x.query(userIDs, k, nil, board)
+}
+
+func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
 	if x.sorted == nil {
 		return nil, fmt.Errorf("lemp: Query before Build")
 	}
@@ -399,7 +413,10 @@ func (x *Index) query(userIDs []int, k int, floors []float64) ([][]topk.Entry, e
 			floor := math.Inf(-1)
 			if floors != nil {
 				floor = floors[qi]
+			} else if board != nil {
+				floor = board.Floor(qi)
 			}
+			scratch.board, scratch.cell = board, qi
 			out[qi] = x.queryOne(x.users.Row(u), k, floor, tn, scratch, nil)
 		}
 		x.scanned.Add(scratch.scanned)
@@ -430,11 +447,15 @@ func (x *Index) ChosenAlgorithms(k int) []Algorithm {
 	return out
 }
 
-// scratch holds per-goroutine temporaries reused across users.
+// scratch holds per-goroutine temporaries reused across users. board/cell,
+// when set, identify the live floor cell of the user currently being
+// answered (QueryWithFloorBoard); both are reassigned per user.
 type scratch struct {
 	usuf1, usuf2 float64
 	scanned      int64 // candidates evaluated, flushed per chunk
 	bucketTimes  [][numAlgos]time.Duration
+	board        *topk.FloorBoard
+	cell         int
 }
 
 func newScratch() *scratch { return &scratch{} }
@@ -494,6 +515,13 @@ func (x *Index) queryOne(user []float64, k int, floor float64, tn *tuning, scr *
 	scr.usuf2 = mat.Norm(user[x.cp2:])
 	h := topk.NewSeeded(k, floor)
 	for b, bk := range x.buckets {
+		// Live floors: re-poll the user's board cell at the bucket boundary,
+		// so a bound published by a concurrent shard tightens this walk's
+		// break and the within-bucket prunes below (monotone — see
+		// mips.LiveFloorQuerier).
+		if scr.board != nil {
+			h.RaiseFloor(scr.board.Floor(scr.cell))
+		}
 		// Pruning must survive two hazards: an exact tie can still enter the
 		// heap via the lower-item-id rule, and the bound itself is computed
 		// in floating point (‖u‖·‖i‖ underestimates u·i when the vectors are

@@ -100,6 +100,58 @@ func ValidateFloors(userIDs []int, floors []float64) error {
 	return nil
 }
 
+// LiveFloorQuerier is the optional interface for solvers that can poll a
+// *live* floor source during a query — the pipelined wave schedule, where
+// shards run concurrently and publish each user's k-th score the moment
+// their own scan completes, tightening the floors of every scan still in
+// flight. board cell i belongs to user userIDs[i] (positionally aligned,
+// like QueryWithFloors' floors slice).
+//
+// Contract: every cell is, at every instant, a valid lower bound on its
+// user's global k-th score, and only ever rises (topk.FloorBoard enforces
+// the monotonicity). The solver must seed each user's heap from the cell at
+// the start of that user's scan and may re-poll it at any of its existing
+// pruning decision points, raising the heap floor via topk.Heap.RaiseFloor —
+// which evicts retained entries the tightened floor now excludes, so the
+// result is entry-for-entry the prefix a static QueryWithFloors at the
+// highest observed floor would return. Because observed floors only rise,
+// that result also satisfies the floor contract against any *later* cell
+// value: callers certify with VerifyFloorPrefix using a board snapshot taken
+// at or after return (a snapshot from call entry would be too low — entries
+// between it and the observed floor were legitimately dropped). A nil board
+// is equivalent to Query. With no concurrent raisers the call is fully
+// deterministic; under concurrency the result set is still exact, only the
+// scan counts vary with raise timing.
+type LiveFloorQuerier interface {
+	QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoard) ([][]topk.Entry, error)
+}
+
+// ValidateFloorBoard checks the QueryWithFloorBoard argument shapes shared
+// by all implementations. NaN cannot occur (FloorBoard rejects it at Raise),
+// so only the alignment is checked; a nil board is valid ("no bounds").
+func ValidateFloorBoard(userIDs []int, board *topk.FloorBoard) error {
+	if board != nil && board.Len() != len(userIDs) {
+		return fmt.Errorf("mips: floor board has %d cells for %d users", board.Len(), len(userIDs))
+	}
+	return nil
+}
+
+// FloorAwareEstimator is the optional interface for solvers whose *build*
+// includes a cost-estimation stage that simulates query walks — MAXIMUS's
+// estimateBlocks sizes each cluster's shared blocked prefix from sampled
+// walk lengths. SetEstimationFloors supplies per-user floors (indexed by
+// user row, len = users.Rows(), -Inf for "no bound") that the next Build's
+// estimation walks may seed their running best with, modelling the floors
+// the index will actually serve under: a tail shard that mostly sees high
+// floors walks shorter and deserves a smaller (or no) shared block. The
+// floors are a performance hint only — they never reach the query path — so
+// a mismatched length is ignored rather than an error, and they persist
+// until replaced. The sharded executor records the floors each shard
+// observes in service and replays them here before dirty-shard rebuilds.
+type FloorAwareEstimator interface {
+	SetEstimationFloors(floors []float64)
+}
+
 // ScanStats counts the candidate evaluations a solver performed: one count
 // per item whose score — full, partial, or via a shared block multiply — was
 // computed against a query. It is the deterministic measure of pruning

@@ -235,6 +235,33 @@ func (r *Reader) section(name string) (*Decoder, error) {
 	return &Decoder{buf: body, base: base}, nil
 }
 
+// SectionIf reads the next section if — and only if — it carries the given
+// name, returning (nil, false) without consuming anything when the stream is
+// at EOF or the next section is named differently. This is how a reader
+// probes for an *optional trailing* section a newer writer may have
+// appended: an absent section is not an error (Close's trailing-section
+// tolerance, made selective), while a present one is fully validated exactly
+// like Section. The peek needs 2+len(name) buffered bytes, comfortably
+// inside the bufio default for any legal section name.
+func (r *Reader) SectionIf(name string) (*Decoder, bool) {
+	if r.err != nil || len(name) == 0 || len(name) > maxSectionLen {
+		return nil, false
+	}
+	hdr, err := r.r.Peek(2 + len(name))
+	if err != nil {
+		return nil, false // EOF (or short stream): section absent
+	}
+	if int(binary.LittleEndian.Uint16(hdr[:2])) != len(name) || string(hdr[2:]) != name {
+		return nil, false
+	}
+	dec, err := r.section(name)
+	if err != nil {
+		r.err = err
+		return &Decoder{err: err}, true
+	}
+	return dec, true
+}
+
 // Close reports the first section-level error. It does not require the
 // stream to be fully consumed: trailing sections a newer writer appended are
 // ignored, which is the forward-compatibility escape hatch within a version.

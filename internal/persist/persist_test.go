@@ -317,3 +317,41 @@ func TestMatrixAlignment(t *testing.T) {
 		}
 	}
 }
+
+// TestSectionIf pins the optional-section probe the additive schedule
+// evolution rides on: a matching next section is consumed, a mismatch (or
+// clean EOF) leaves the stream untouched for the next strict Section call.
+func TestSectionIf(t *testing.T) {
+	raw := writeSample(t)
+	r, err := NewReader(bytes.NewReader(raw), "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.SectionIf("beta"); ok {
+		t.Fatal("probe for the wrong name must not consume")
+	}
+	if _, ok := r.SectionIf(""); ok {
+		t.Fatal("empty name must not match")
+	}
+	if _, ok := r.SectionIf(strings.Repeat("x", 300)); ok {
+		t.Fatal("overlong name must not match")
+	}
+	d, ok := r.SectionIf("alpha")
+	if !ok {
+		t.Fatal("probe for the actual next section must hit")
+	}
+	if v := d.U8(); v != 7 || d.Err() != nil {
+		t.Fatalf("alpha via SectionIf: %d, %v", v, d.Err())
+	}
+	// The rest of the stream reads on, strictly.
+	d = r.Section("beta")
+	if m := d.Matrix(); d.Err() != nil || m.At(2, 3) != testMatrix(3, 4).At(2, 3) {
+		t.Fatalf("beta after SectionIf: %v", d.Err())
+	}
+	if _, ok := r.SectionIf("gamma"); ok {
+		t.Fatal("probe at clean EOF must miss")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -48,6 +48,12 @@ type Config struct {
 	// QueueDepth bounds the number of requests waiting for a batch slot;
 	// Query blocks (or fails with ctx) when the queue is full. Default 1024.
 	QueueDepth int
+	// Schedule, when non-empty, selects the wave schedule of a sharded
+	// solver by canonical name ("auto", "single", "two-wave", "cascade",
+	// "pipelined"). New applies it through the solver's structural
+	// SetScheduleByName method and fails on an unknown name or a solver
+	// without wave scheduling. Empty leaves the solver's schedule alone.
+	Schedule string
 }
 
 // DefaultConfig returns the defaults documented on Config.
@@ -77,6 +83,23 @@ type Stats struct {
 	LogPending       int
 	LogFlushes       int64
 	LogFlushedEvents int64
+	// Schedule is the wave schedule the solver is actively running ("" when
+	// the solver has no wave scheduling), and WaveScans its cumulative
+	// per-wave scan counts (nil likewise) — the serving-side view of the
+	// sharded executor's fan-out structure. WaveScans indexes by wave of the
+	// active schedule: [head, tails] for two-wave, one entry per shard for
+	// cascade/pipelined, a single total for single-wave.
+	Schedule  string
+	WaveScans []mips.ScanStats
+}
+
+// waveScheduler is the structural interface a wave-scheduling solver (the
+// sharded executor) satisfies; serving stays decoupled from the shard
+// package by naming only the methods.
+type waveScheduler interface {
+	SetScheduleByName(string) error
+	ActiveScheduleName() string
+	WaveScanStats() []mips.ScanStats
 }
 
 type request struct {
@@ -145,6 +168,15 @@ func New(solver mips.Solver, cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = def.QueueDepth
 	}
+	if cfg.Schedule != "" {
+		ws, ok := solver.(waveScheduler)
+		if !ok {
+			return nil, fmt.Errorf("serving: %s does not support wave schedules", solver.Name())
+		}
+		if err := ws.SetScheduleByName(cfg.Schedule); err != nil {
+			return nil, fmt.Errorf("serving: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:    cfg,
 		solver: solver,
@@ -204,6 +236,13 @@ func (s *Server) Stats() Stats {
 		st.LogPending = ls.PendingEvents
 		st.LogFlushes = ls.Flushes
 		st.LogFlushedEvents = ls.FlushedEvents
+	}
+	// The schedule view reads the solver without s.mu: schedule changes go
+	// through the solver lock (Mutate-style exclusivity), and the scan
+	// counters are atomics inside the sub-solvers.
+	if ws, ok := s.solver.(waveScheduler); ok {
+		st.Schedule = ws.ActiveScheduleName()
+		st.WaveScans = ws.WaveScanStats()
 	}
 	return st
 }

@@ -311,6 +311,10 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 		}
 	}
 	s.users = mat.AppendRows(s.users, newUsers)
+	// Grow the observed-floor boards to the new user count (waves.go);
+	// arrivals start at -Inf until a floor-bearing query reaches them.
+	// AddUsers holds the caller's exclusive lock, so no query races this.
+	s.ensureObsBoards()
 	return mips.IDRange(base, newUsers.Rows()), nil
 }
 

@@ -82,6 +82,16 @@ func (s *Sharded) Save(w io.Writer) error {
 			e.Bytes(nested)
 		})
 	}
+	// The requested wave schedule rides as an *optional trailing* section:
+	// written only when it differs from AutoSchedule, so default-config
+	// snapshots stay byte-identical to the pinned v1 goldens, and older
+	// readers (whose Close ignores trailing sections) still load
+	// schedule-bearing snapshots — additive evolution, no version bump.
+	if s.cfg.Schedule != AutoSchedule {
+		pw.Section("schedule", func(e *persist.Encoder) {
+			e.String(s.cfg.Schedule.String())
+		})
+	}
 	return pw.Close()
 }
 
@@ -191,6 +201,18 @@ func (s *Sharded) Load(r io.Reader) error {
 		}
 		parts = append(parts, ids)
 	}
+	// Optional trailing schedule section (see Save): absent in pre-schedule
+	// and default-config snapshots, which load as AutoSchedule.
+	schedule := AutoSchedule
+	if d, ok := pr.SectionIf("schedule"); ok {
+		name := d.String()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if schedule, err = ParseSchedule(name); err != nil {
+			return err
+		}
+	}
 	if err := pr.Close(); err != nil {
 		return err
 	}
@@ -207,6 +229,8 @@ func (s *Sharded) Load(r io.Reader) error {
 	s.users, s.items, s.shards = users, items, shards
 	s.name = name
 	s.gen = gen
+	s.cfg.Schedule = schedule
+	s.obs = nil
 	s.headFirst = headFirst == 1
 	s.normFloor = normFloor
 	s.mstats = mstats

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"optimus/internal/mat"
 	"optimus/internal/mips"
@@ -175,6 +176,12 @@ type Config struct {
 	// two-wave lesion switch the benchmarks flip to measure the pruning win.
 	// The zero value keeps threshold propagation on wherever it applies.
 	DisableFloorSeeding bool
+	// Schedule requests a wave schedule (waves.go). AutoSchedule — the zero
+	// value — resolves to TwoWave when the composite is floor-eligible and
+	// SingleWave otherwise; an explicit floor-bearing schedule likewise falls
+	// back to SingleWave when ineligible. Exactness is schedule-independent;
+	// only scan counts (and, for Pipelined, their determinism) differ.
+	Schedule Schedule
 }
 
 // shardState is one built partition.
@@ -208,11 +215,22 @@ type Sharded struct {
 	items        *mat.Matrix
 	shards       []shardState
 	batches      bool
-	// twoWave records the decision to propagate thresholds: the partitioner
-	// is head-first, floor seeding is enabled, there is a tail to seed, and
-	// every (live) tail sub-solver accepts floors. Re-evaluated after every
-	// mutation (a re-plan can change a tail solver's capabilities).
-	twoWave bool
+	// active is the resolved wave schedule (waves.go): Config.Schedule
+	// checked against floor eligibility — the partitioner is head-first,
+	// floor seeding is enabled, there is a live head and at least one live
+	// tail, and every live tail sub-solver accepts floors. Re-evaluated
+	// after every mutation (a re-plan can change a tail solver's
+	// capabilities).
+	active Schedule
+	// obs holds one observed-floor board per shard when a floor-bearing
+	// schedule is active (waves.go): the tightest floors wave scheduling
+	// ever fed each shard, indexed by global user id, replayed into
+	// floor-aware sub-solvers on dirty-shard rebuilds.
+	obs []*topk.FloorBoard
+	// scratchPool and mergePool recycle the fan-out and merge scratch
+	// (waves.go), keeping the orchestration layer allocation-free per query.
+	scratchPool sync.Pool
+	mergePool   sync.Pool
 
 	// Mutable-corpus state (mutate.go). headFirst caches the partitioner
 	// marker; normFloor[i] is shard i's minimum item norm at Build, the
@@ -326,6 +344,11 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 	if s.cfg.Factory == nil && s.cfg.Planner == nil {
 		return fmt.Errorf("shard: config needs a Factory or a Planner")
 	}
+	if !s.cfg.Schedule.valid() {
+		return fmt.Errorf("shard: invalid schedule %d", int(s.cfg.Schedule))
+	}
+	// A rebuild over a fresh corpus invalidates prior floor observations.
+	s.obs = nil
 	nShards := s.cfg.Shards
 	if nShards > items.Rows() {
 		nShards = items.Rows()
@@ -429,6 +452,16 @@ func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix)
 		if solver == nil {
 			return fmt.Errorf("shard %d: factory returned nil solver", i)
 		}
+		// Replay the floors wave scheduling has fed this shard into a
+		// floor-aware estimator before building, so cost estimation samples
+		// at realized query thresholds (a hint: estimators ignore
+		// mismatched lengths). The Planner path measures real queries and
+		// needs no seeding.
+		if i < len(s.obs) && s.obs[i] != nil {
+			if fae, ok := solver.(mips.FloorAwareEstimator); ok {
+				fae.SetEstimationFloors(s.obs[i].Snapshot(nil))
+			}
+		}
 		if err := solver.Build(users, subItems); err != nil {
 			return fmt.Errorf("shard %d: building %s: %w", i, solver.Name(), err)
 		}
@@ -444,10 +477,10 @@ func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix)
 }
 
 // refreshComposite re-derives the cached composite properties — Batches and
-// the two-wave decision — from the current shard set. Called by Build and
-// after every mutation. Dead shards (emptied by removals) are skipped; a
-// dead head shard disables the two-wave path (there is nothing to harvest
-// floors from).
+// the active wave schedule — from the current shard set. Called by Build
+// and after every mutation. Dead shards (emptied by removals) are skipped;
+// a dead head shard disables every floor-bearing schedule (there is nothing
+// to harvest floors from).
 func (s *Sharded) refreshComposite() {
 	shards := s.shards
 	s.batches = false
@@ -457,29 +490,38 @@ func (s *Sharded) refreshComposite() {
 			break
 		}
 	}
-	s.twoWave = false
+	floorsOK := false
 	if s.headFirst && !s.cfg.DisableFloorSeeding && len(shards) > 1 && shards[0].count > 0 {
 		live := 0
-		s.twoWave = true
+		floorsOK = true
 		for i := 1; i < len(shards); i++ {
 			if shards[i].count == 0 {
 				continue
 			}
 			live++
 			if _, ok := shards[i].solver.(mips.ThresholdQuerier); !ok {
-				s.twoWave = false
+				floorsOK = false
 				break
 			}
 		}
 		if live == 0 {
-			s.twoWave = false
+			floorsOK = false
 		}
 	}
+	switch {
+	case !floorsOK || s.cfg.Schedule == SingleWave:
+		s.active = SingleWave
+	case s.cfg.Schedule == AutoSchedule:
+		s.active = TwoWave
+	default:
+		s.active = s.cfg.Schedule
+	}
+	s.ensureObsBoards()
 }
 
-// TwoWave reports whether Build enabled the two-wave floor-seeded query
-// path (see the package comment). False before Build.
-func (s *Sharded) TwoWave() bool { return s.twoWave }
+// TwoWave reports whether the active schedule is the two-wave floor-seeded
+// query path (see the package comment). False before Build.
+func (s *Sharded) TwoWave() bool { return s.shards != nil && s.active == TwoWave }
 
 // ScanStats implements mips.ScanCounter, summing every metered sub-solver.
 func (s *Sharded) ScanStats() mips.ScanStats {
@@ -547,45 +589,41 @@ func (s *Sharded) query(userIDs []int, k int, extFloors []float64) ([][]topk.Ent
 			return nil, fmt.Errorf("shard: user id %d out of range [0,%d)", u, s.users.Rows())
 		}
 	}
-	partials := make([][][]topk.Entry, len(s.shards))
-	if s.twoWave {
-		// Wave 1: the head shard alone, at full parallelism inside the
-		// sub-solver.
-		if err := s.queryShard(0, userIDs, k, extFloors, partials); err != nil {
-			return nil, err
-		}
-		// Harvest each user's k-th head score: the k-th best over the head
-		// items is a lower bound on the k-th best over all items. A head
-		// shard smaller than k (or itself floored below k entries) proves
-		// nothing for that user; the external floor, if any, still applies.
-		floors := make([]float64, len(userIDs))
-		for i, row := range partials[0] {
-			floors[i] = math.Inf(-1)
-			if extFloors != nil {
-				floors[i] = extFloors[i]
-			}
-			if len(row) >= k && row[k-1].Score > floors[i] {
-				floors[i] = row[k-1].Score
-			}
-		}
-		// Wave 2: fan the seeded tails out.
-		if err := s.fanOut(1, userIDs, k, floors, partials); err != nil {
-			return nil, err
-		}
-	} else if err := s.fanOut(0, userIDs, k, extFloors, partials); err != nil {
+	sc := s.getScratch(len(userIDs))
+	defer s.putScratch(sc)
+	var err error
+	switch s.active {
+	case TwoWave:
+		err = s.queryTwoWave(userIDs, k, extFloors, sc)
+	case Cascade:
+		err = s.queryCascade(userIDs, k, extFloors, sc)
+	case Pipelined:
+		err = s.queryPipelined(userIDs, k, extFloors, sc)
+	default:
+		err = s.fanOut(0, userIDs, k, extFloors, sc.partials)
+	}
+	if err != nil {
 		return nil, err
 	}
 
+	partials := sc.partials
 	out := make([][]topk.Entry, len(userIDs))
-	lists := len(s.shards)
 	parallel.ForThreads(s.cfg.Threads, len(userIDs), mergeGrain, func(lo, hi int) {
-		scratch := make([][]topk.Entry, lists)
+		m, _ := s.mergePool.Get().(*mergeScratch)
+		if m == nil {
+			m = &mergeScratch{}
+		}
+		if cap(m.rows) < len(partials) {
+			m.rows = make([][]topk.Entry, len(partials))
+		}
+		rows := m.rows[:len(partials)]
 		for u := lo; u < hi; u++ {
 			for si := range partials {
-				scratch[si] = partials[si][u]
+				rows[si] = partials[si][u]
 			}
-			out[u] = topk.MergeK(scratch, k)
+			out[u] = m.ms.MergeK(rows, k)
 		}
+		s.mergePool.Put(m)
 	})
 	return out, nil
 }
@@ -618,9 +656,17 @@ func (s *Sharded) queryShard(si int, userIDs []int, k int, floors []float64, par
 	sh := &s.shards[si]
 	if sh.count == 0 {
 		// A shard emptied by removals holds nothing to answer; its nil rows
-		// merge as empty lists.
-		partials[si] = make([][]topk.Entry, len(userIDs))
+		// merge as empty lists. (The pooled scratch pre-points dead shards
+		// at a shared all-nil slab; the allocation covers standalone calls.)
+		if partials[si] == nil {
+			partials[si] = make([][]topk.Entry, len(userIDs))
+		}
 		return nil
+	}
+	if s.obs != nil && floors != nil && si < len(s.obs) && s.obs[si] != nil {
+		// Record the floors this shard was fed — the construction-side
+		// feedback dirty-shard rebuilds replay (waves.go).
+		recordObserved(s.obs[si], userIDs, floors)
 	}
 	kq := k
 	if kq > sh.count {

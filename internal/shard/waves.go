@@ -1,0 +1,454 @@
+// Wave scheduling: the generalization of the two-wave query into pluggable
+// fan-out schedules (ISSUE 7). A schedule decides in what order the shards
+// answer and how each shard's partial results tighten the floors of the
+// shards still to run:
+//
+//   - SingleWave: blind fan-out — every shard answers from a cold heap. The
+//     mandatory fallback whenever floor propagation is unavailable (S=1,
+//     non-head-first partitions, a floor-incapable tail, or
+//     Config.DisableFloorSeeding), and the lesion arm of the ablations.
+//   - TwoWave: the head shard answers alone; each user's k-th head score
+//     seeds every tail shard at once. Exactly the pre-schedule behavior —
+//     AutoSchedule resolves here whenever eligible.
+//   - Cascade: S serial waves in shard order (under ByNorm that is
+//     descending norm-ceiling order). After each wave the per-user k-th best
+//     over the union of all completed waves becomes the next wave's floor,
+//     so floors tighten monotonically as the cascade descends into the tail
+//     — strictly tighter than TwoWave's head-only floors, at the cost of
+//     serializing the waves. Fully deterministic: scan counters are
+//     reproducible run to run.
+//   - Pipelined: every shard starts at once. Shards whose sub-solver
+//     implements mips.LiveFloorQuerier start blind but poll a shared
+//     topk.FloorBoard at their pruning decision points, so a floor raised by
+//     an earlier-finishing shard re-seeds them in flight; each shard that
+//     completes with a full k rows raises the board with its per-user k-th
+//     score. Results are exact regardless of timing (every raise is a
+//     certified lower bound on the global k-th score), but scan counters are
+//     timing-dependent — the price of not serializing anything.
+//
+// Exactness argument, shared by every schedule: a floor fed to any shard is
+// always the k-th best score over some subset of the corpus (or a caller
+// floor, certified by the same contract), hence a lower bound on the global
+// k-th score. Every global top-k entry scores at or above the global k-th
+// score, therefore at or above every floor ever fed or raised — so the floor
+// contract (ties at the floor retained, everything above intact) guarantees
+// no schedule can drop a global winner, and the k-way merge reproduces the
+// single-wave result entry-for-entry.
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"optimus/internal/mips"
+	"optimus/internal/parallel"
+	"optimus/internal/topk"
+)
+
+// Schedule selects the wave schedule for Sharded.Query. The zero value is
+// AutoSchedule.
+type Schedule int
+
+const (
+	// AutoSchedule picks TwoWave when the composite is floor-eligible and
+	// SingleWave otherwise — the historical default behavior.
+	AutoSchedule Schedule = iota
+	// SingleWave is the blind fan-out.
+	SingleWave
+	// TwoWave is head shard first, then all tails floor-seeded at once.
+	TwoWave
+	// Cascade runs S serial waves, each seeded by the running union k-th.
+	Cascade
+	// Pipelined runs all shards concurrently over a shared live FloorBoard.
+	Pipelined
+
+	scheduleCount // sentinel for validation
+)
+
+var scheduleNames = [...]string{
+	AutoSchedule: "auto",
+	SingleWave:   "single",
+	TwoWave:      "two-wave",
+	Cascade:      "cascade",
+	Pipelined:    "pipelined",
+}
+
+// String returns the schedule's canonical name ("auto", "single",
+// "two-wave", "cascade", "pipelined").
+func (sc Schedule) String() string {
+	if sc < 0 || sc >= scheduleCount {
+		return fmt.Sprintf("Schedule(%d)", int(sc))
+	}
+	return scheduleNames[sc]
+}
+
+func (sc Schedule) valid() bool { return sc >= 0 && sc < scheduleCount }
+
+// ParseSchedule maps a canonical schedule name back to its value — the
+// inverse of String, used by the CLI flag, the serving config, and the
+// snapshot loader.
+func ParseSchedule(name string) (Schedule, error) {
+	for sc, n := range scheduleNames {
+		if n == name {
+			return Schedule(sc), nil
+		}
+	}
+	return 0, fmt.Errorf("shard: unknown schedule %q (want auto, single, two-wave, cascade, or pipelined)", name)
+}
+
+// SetSchedule installs a new requested schedule on a built (or unbuilt)
+// composite and re-resolves the active schedule against the current shard
+// set. It must not race in-flight queries (the serving layer holds its
+// solver lock across mutations; standalone callers synchronize themselves).
+func (s *Sharded) SetSchedule(sc Schedule) error {
+	if !sc.valid() {
+		return fmt.Errorf("shard: invalid schedule %d", int(sc))
+	}
+	s.cfg.Schedule = sc
+	if s.shards != nil {
+		s.refreshComposite()
+	}
+	return nil
+}
+
+// SetScheduleByName is SetSchedule over a canonical schedule name.
+func (s *Sharded) SetScheduleByName(name string) error {
+	sc, err := ParseSchedule(name)
+	if err != nil {
+		return err
+	}
+	return s.SetSchedule(sc)
+}
+
+// ActiveSchedule reports the schedule Query actually runs: the requested
+// Config.Schedule resolved against eligibility (AutoSchedule before Build).
+func (s *Sharded) ActiveSchedule() Schedule { return s.active }
+
+// ActiveScheduleName is ActiveSchedule().String(), the structural accessor
+// the serving layer reports in Stats.
+func (s *Sharded) ActiveScheduleName() string { return s.active.String() }
+
+// RequestedSchedule reports the configured schedule before eligibility
+// resolution (what Save persists).
+func (s *Sharded) RequestedSchedule() Schedule { return s.cfg.Schedule }
+
+// WaveScanStats groups ShardScanStats by wave of the active schedule: one
+// entry per wave for TwoWave ([head, Σ tails]), one per shard for Cascade
+// and Pipelined (each shard is its own wave), and a single total for
+// SingleWave. Counts come from the sub-solvers' mips.ScanCounter meters, so
+// shards whose solver is unmetered report zero.
+func (s *Sharded) WaveScanStats() []mips.ScanStats {
+	per := s.ShardScanStats()
+	if len(per) == 0 {
+		return nil
+	}
+	switch s.active {
+	case TwoWave:
+		var tail mips.ScanStats
+		for _, st := range per[1:] {
+			tail.Add(st)
+		}
+		return []mips.ScanStats{per[0], tail}
+	case Cascade, Pipelined:
+		return per
+	default:
+		var total mips.ScanStats
+		for _, st := range per {
+			total.Add(st)
+		}
+		return []mips.ScanStats{total}
+	}
+}
+
+// queryScratch is the pooled per-query state of the fan-out hot path: the
+// per-shard partial-result table, the harvested floor slice, a shared
+// all-nil row slab for dead shards, and (Pipelined only) the live floor
+// board. Pooling these is what makes the orchestration layer
+// allocation-free per query — see TestQueryAllocations.
+type queryScratch struct {
+	partials [][][]topk.Entry
+	floors   []float64
+	empty    [][]topk.Entry // all-nil rows; aliased by every dead shard
+	board    *topk.FloorBoard
+}
+
+// ensure sizes the scratch for a query of nUsers users over nShards shards,
+// reusing prior capacity.
+func (sc *queryScratch) ensure(nShards, nUsers int) {
+	if cap(sc.partials) < nShards {
+		sc.partials = make([][][]topk.Entry, nShards)
+	}
+	sc.partials = sc.partials[:nShards]
+	for i := range sc.partials {
+		sc.partials[i] = nil
+	}
+	if cap(sc.empty) < nUsers {
+		sc.empty = make([][]topk.Entry, nUsers)
+	}
+	sc.empty = sc.empty[:nUsers]
+	if cap(sc.floors) < nUsers {
+		sc.floors = make([]float64, nUsers)
+	}
+	sc.floors = sc.floors[:nUsers]
+}
+
+// boardFor returns the scratch's FloorBoard reset to -Inf, reallocating only
+// when the user count changed. Reset here is safe: the scratch is
+// checked out of the pool, so no query shares the board yet.
+func (sc *queryScratch) boardFor(nUsers int) *topk.FloorBoard {
+	if sc.board == nil || sc.board.Len() != nUsers {
+		sc.board = topk.NewFloorBoard(nUsers)
+	} else {
+		sc.board.Reset()
+	}
+	return sc.board
+}
+
+// getScratch checks a query scratch out of the composite's pool and sizes
+// it; dead shards are pre-pointed at the shared empty slab so queryShard
+// never allocates for them.
+func (s *Sharded) getScratch(nUsers int) *queryScratch {
+	sc, _ := s.scratchPool.Get().(*queryScratch)
+	if sc == nil {
+		sc = &queryScratch{}
+	}
+	sc.ensure(len(s.shards), nUsers)
+	for si := range s.shards {
+		if s.shards[si].count == 0 {
+			sc.partials[si] = sc.empty
+		}
+	}
+	return sc
+}
+
+// putScratch returns a scratch to the pool, dropping references to the
+// sub-solver result rows so they stay collectable.
+func (s *Sharded) putScratch(sc *queryScratch) {
+	for i := range sc.partials {
+		sc.partials[i] = nil
+	}
+	s.scratchPool.Put(sc)
+}
+
+// mergeScratch is the pooled per-worker state of the k-way merge: the
+// per-user row table and the MergeK cursor heap.
+type mergeScratch struct {
+	rows [][]topk.Entry
+	ms   topk.MergeScratch
+}
+
+// seedFloors initializes the scratch floor slice from the caller's external
+// floors (-Inf when absent).
+func seedFloors(dst []float64, extFloors []float64) {
+	if extFloors != nil {
+		copy(dst, extFloors)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Inf(-1)
+	}
+}
+
+// queryTwoWave is the historical floor-seeded path: wave 1 answers the head
+// shard alone (at full parallelism inside the sub-solver), wave 2 fans the
+// tails out seeded with each user's k-th head score.
+func (s *Sharded) queryTwoWave(userIDs []int, k int, extFloors []float64, sc *queryScratch) error {
+	if err := s.queryShard(0, userIDs, k, extFloors, sc.partials); err != nil {
+		return err
+	}
+	// Harvest each user's k-th head score: the k-th best over the head items
+	// is a lower bound on the k-th best over all items. A head shard smaller
+	// than k (or itself floored below k entries) proves nothing for that
+	// user; the external floor, if any, still applies.
+	floors := sc.floors
+	seedFloors(floors, extFloors)
+	for i, row := range sc.partials[0] {
+		if len(row) >= k && row[k-1].Score > floors[i] {
+			floors[i] = row[k-1].Score
+		}
+	}
+	return s.fanOut(1, userIDs, k, floors, sc.partials)
+}
+
+// queryCascade runs S serial waves in shard order. A per-user running top-k
+// heap accumulates the union of every completed wave's entries; once full,
+// its root — the k-th best over everything answered so far — becomes the
+// floor of the next wave. Under ByNorm the shard order is descending
+// norm-ceiling order, so the cascade descends into ever-flatter tails with
+// ever-tighter floors. Serial waves make the floors (and therefore the scan
+// counters) fully deterministic.
+func (s *Sharded) queryCascade(userIDs []int, k int, extFloors []float64, sc *queryScratch) error {
+	floors := sc.floors
+	seedFloors(floors, extFloors)
+	// The running heaps are per-query allocations: heap capacity is k-bound
+	// and the cascade's win is measured in scans, not allocations (the
+	// pinned zero-allocation path is the default schedule).
+	heaps := make([]*topk.Heap, len(userIDs))
+	for i := range heaps {
+		heaps[i] = topk.New(k)
+	}
+	last := len(s.shards) - 1
+	for si := range s.shards {
+		if err := s.queryShard(si, userIDs, k, floors, sc.partials); err != nil {
+			return err
+		}
+		if si == last || s.shards[si].count == 0 {
+			continue // nothing (more) to seed
+		}
+		for qi, row := range sc.partials[si] {
+			h := heaps[qi]
+			topk.MergeInto(h, row)
+			if h.Full() {
+				if m := h.Min().Score; m > floors[qi] {
+					floors[qi] = m
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// queryPipelined fans every shard out at once over one shared FloorBoard.
+// Live-floor sub-solvers poll the board at their pruning decision points and
+// so re-seed in flight; threshold-only sub-solvers get a static snapshot of
+// the board taken when their shard starts (a valid floor — the board only
+// ever holds certified lower bounds); unseedable sub-solvers run blind.
+// Every shard that returns k full rows raises the board with its per-user
+// k-th score for the shards still running. Exact at any interleaving;
+// scan counts are timing-dependent (see the package comment).
+func (s *Sharded) queryPipelined(userIDs []int, k int, extFloors []float64, sc *queryScratch) error {
+	board := sc.boardFor(len(userIDs))
+	if extFloors != nil {
+		board.Fill(extFloors)
+	}
+	err := parallel.ForErrThreads(s.cfg.Threads, len(s.shards), 1, func(lo, hi int) error {
+		var first error
+		for si := lo; si < hi; si++ {
+			if e := s.queryShardLive(si, userIDs, k, board, sc.partials); e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	})
+	if err != nil {
+		return err
+	}
+	// Feed the realized floors back into every live shard's observed-floor
+	// board (the serial schedules record per-shard inside queryShard; here
+	// the final board is what every shard would have seen given time).
+	if s.obs != nil {
+		fin := board.Snapshot(sc.floors[:0])
+		for si := range s.shards {
+			if s.shards[si].count == 0 || s.obs[si] == nil {
+				continue
+			}
+			recordObserved(s.obs[si], userIDs, fin)
+		}
+	}
+	return nil
+}
+
+// queryShardLive is queryShard for the pipelined schedule: the floor source
+// is the shared board rather than a static slice, and the shard raises the
+// board on completion.
+func (s *Sharded) queryShardLive(si int, userIDs []int, k int, board *topk.FloorBoard, partials [][][]topk.Entry) error {
+	sh := &s.shards[si]
+	if sh.count == 0 {
+		return nil // partials[si] pre-pointed at the empty slab
+	}
+	kq := k
+	if kq > sh.count {
+		kq = sh.count
+	}
+	var res [][]topk.Entry
+	var err error
+	switch q := sh.solver.(type) {
+	case mips.LiveFloorQuerier:
+		res, err = q.QueryWithFloorBoard(userIDs, kq, board)
+	case mips.ThresholdQuerier:
+		res, err = q.QueryWithFloors(userIDs, kq, board.Snapshot(nil))
+	default:
+		res, err = sh.solver.Query(userIDs, kq)
+	}
+	if err != nil {
+		return fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
+	}
+	if sh.ids != nil || sh.base != 0 {
+		for _, row := range res {
+			for i := range row {
+				row[i].Item = sh.globalID(row[i].Item)
+			}
+		}
+	}
+	// A full k rows proves the shard's k-th score is a lower bound on the
+	// global k-th (a k-th best never decreases when the candidate set
+	// grows); fewer than k rows — shard smaller than k, or floored below k
+	// survivors — proves nothing and raises nothing.
+	for qi, row := range res {
+		if len(row) >= k {
+			board.Raise(qi, row[k-1].Score)
+		}
+	}
+	partials[si] = res
+	return nil
+}
+
+// Observed-floor feedback (construction side of the loop). Each live shard
+// carries a FloorBoard indexed by *global* user id recording the tightest
+// floor wave scheduling ever fed it; dirty-shard rebuilds replay that board
+// into sub-solvers implementing mips.FloorAwareEstimator (buildShard), so
+// MAXIMUS's estimateBlocks samples its sizing walks at realistic
+// thresholds instead of from cold heaps.
+
+// ensureObsBoards sizes the per-shard observed-floor boards to the current
+// shard set and user count, carrying prior observations across refreshes
+// (mutations only ever grow the user dimension). SingleWave feeds no floors,
+// so it keeps no boards.
+func (s *Sharded) ensureObsBoards() {
+	if s.active == SingleWave || s.users == nil {
+		s.obs = nil
+		return
+	}
+	nu := s.users.Rows()
+	if len(s.obs) == len(s.shards) && (len(s.obs) == 0 || s.obs[0].Len() == nu) {
+		return
+	}
+	obs := make([]*topk.FloorBoard, len(s.shards))
+	for i := range obs {
+		b := topk.NewFloorBoard(nu)
+		if i < len(s.obs) && s.obs[i] != nil {
+			old := s.obs[i]
+			n := old.Len()
+			if n > nu {
+				n = nu
+			}
+			for u := 0; u < n; u++ {
+				b.Raise(u, old.Floor(u))
+			}
+		}
+		obs[i] = b
+	}
+	s.obs = obs
+}
+
+// recordObserved CAS-maxes the floors fed for userIDs into a shard's
+// observed board. Monotone and concurrency-safe, so concurrent queries
+// simply race to the tighter bound.
+func recordObserved(ob *topk.FloorBoard, userIDs []int, floors []float64) {
+	n := ob.Len()
+	for qi, u := range userIDs {
+		if u < n {
+			ob.Raise(u, floors[qi])
+		}
+	}
+}
+
+// ObservedFloors snapshots shard si's observed-floor board (one float per
+// user row, -Inf where no floor was ever fed). Nil when the shard keeps no
+// board (SingleWave, unbuilt, or si out of range).
+func (s *Sharded) ObservedFloors(si int) []float64 {
+	if si < 0 || si >= len(s.obs) || s.obs[si] == nil {
+		return nil
+	}
+	return s.obs[si].Snapshot(nil)
+}

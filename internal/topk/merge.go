@@ -1,5 +1,14 @@
 package topk
 
+// MergeScratch holds the cursor-heap state MergeK needs, reusable across
+// merges: the sharded executor merges one row per user per query, so letting
+// callers pin these two slices removes two allocations from every row of the
+// fan-out hot path. The zero value is ready to use.
+type MergeScratch struct {
+	pos   []int
+	heads []int
+}
+
 // MergeK merges per-shard top lists into one global top-k ranking. Every
 // input list must already be ranked by the repository convention (descending
 // score, ascending item id on ties) and must carry globally meaningful item
@@ -8,11 +17,12 @@ package topk
 // all) and may be nil or empty; items are assumed distinct across lists
 // (shards partition the corpus), so no deduplication is performed.
 //
-// The result has min(k, Σ len(list)) entries. Cross-list ties resolve by the
-// same convention, so the merged ranking is exactly what a single solver
-// over the union of the shards would produce. Cost is O(k·log S) for S
-// lists, using a cursor heap over the list heads.
-func MergeK(lists [][]Entry, k int) []Entry {
+// The result has min(k, Σ len(list)) entries and is freshly allocated (it is
+// the caller's to keep; only the cursor state lives in the scratch).
+// Cross-list ties resolve by the same convention, so the merged ranking is
+// exactly what a single solver over the union of the shards would produce.
+// Cost is O(k·log S) for S lists, using a cursor heap over the list heads.
+func (ms *MergeScratch) MergeK(lists [][]Entry, k int) []Entry {
 	if k < 1 {
 		return nil
 	}
@@ -20,8 +30,15 @@ func MergeK(lists [][]Entry, k int) []Entry {
 	// lists[heads[c]][pos[heads[c]]]; the root holds the best head. "Best
 	// first" is the inverse of the bounded heap's "worst first", hence the
 	// flipped less arguments.
-	pos := make([]int, len(lists))
-	heads := make([]int, 0, len(lists))
+	if cap(ms.pos) < len(lists) {
+		ms.pos = make([]int, len(lists))
+		ms.heads = make([]int, 0, len(lists))
+	}
+	pos := ms.pos[:len(lists)]
+	for i := range pos {
+		pos[i] = 0
+	}
+	heads := ms.heads[:0]
 	better := func(a, b int) bool {
 		return less(lists[b][pos[b]], lists[a][pos[a]])
 	}
@@ -69,5 +86,13 @@ func MergeK(lists [][]Entry, k int) []Entry {
 		}
 		siftDown(0)
 	}
+	ms.heads = heads[:0]
 	return out
+}
+
+// MergeK is the scratch-free form for one-off merges; allocation-sensitive
+// callers merging many rows reuse a MergeScratch instead.
+func MergeK(lists [][]Entry, k int) []Entry {
+	var ms MergeScratch
+	return ms.MergeK(lists, k)
 }

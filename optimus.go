@@ -259,6 +259,28 @@ type Sharded = shard.Sharded
 // count (the dirty-shard rebuild accounting).
 type ShardPlan = shard.Plan
 
+// WaveSchedule selects how a Sharded query fans out across shards and how
+// completed shards' partial results tighten the floors of the rest (see
+// ShardedConfig.Schedule and Sharded.SetSchedule): ScheduleAuto resolves to
+// two-wave when floor propagation is available; ScheduleSingle is the blind
+// fan-out; ScheduleCascade runs serial waves with union-k floors;
+// SchedulePipelined runs every shard concurrently over a live floor board.
+// Results are exact under every schedule.
+type WaveSchedule = shard.Schedule
+
+// The wave schedules, by canonical name ("auto", "single", "two-wave",
+// "cascade", "pipelined").
+const (
+	ScheduleAuto      = shard.AutoSchedule
+	ScheduleSingle    = shard.SingleWave
+	ScheduleTwoWave   = shard.TwoWave
+	ScheduleCascade   = shard.Cascade
+	SchedulePipelined = shard.Pipelined
+)
+
+// ParseWaveSchedule maps a canonical schedule name to its WaveSchedule.
+func ParseWaveSchedule(name string) (WaveSchedule, error) { return shard.ParseSchedule(name) }
+
 // ShardMutationStats accounts for the dirty-shard mutation discipline:
 // mutations applied, shards patched in place, shards rebuilt/re-planned.
 type ShardMutationStats = shard.MutationStats
