@@ -1,0 +1,161 @@
+package optimus
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"optimus/internal/core"
+	"optimus/internal/faulty"
+	"optimus/internal/mips"
+)
+
+// TestChaosSoak is the seeded chaos suite CI runs under -race: a partial-mode
+// pipelined server over four BMM shards, every sub-solver wrapped in a
+// low-rate seeded fault injector (errors, panics, 1ms hangs on any call),
+// with concurrent degraded-mode queries racing logged catalog mutations.
+// Because revival from a retained snapshot sheds the fault wrapper, the
+// system must converge: shards end healthy, the mutated composite answers
+// entry-for-entry like a fresh solver over the tracked corpus, and no
+// goroutines leak.
+func TestChaosSoak(t *testing.T) {
+	for _, seed := range []int64{7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { chaosSoak(t, seed) })
+	}
+}
+
+func chaosSoak(t *testing.T, seed int64) {
+	baseline := runtime.NumGoroutine()
+
+	rng := rand.New(rand.NewSource(seed))
+	const nUsers, nItems, f, k, nAdds = 120, 160, 8, 5, 24
+	users, items := NewMatrix(nUsers, f), NewMatrix(nItems, f)
+	pool := NewMatrix(nAdds, f)
+	for _, m := range []*Matrix{users, items, pool} {
+		for i := range m.Data() {
+			m.Data()[i] = rng.NormFloat64()
+		}
+	}
+
+	var mu sync.Mutex
+	shardSeed := seed
+	sh := NewSharded(ShardedConfig{
+		Shards:               4,
+		Partitioner:          ShardByNorm(),
+		Schedule:             SchedulePipelined,
+		RetainShardSnapshots: true,
+		Factory: func() Solver {
+			mu.Lock()
+			shardSeed++
+			s := shardSeed
+			mu.Unlock()
+			return faulty.Wrap(core.NewBMM(core.BMMConfig{}), faulty.Plan{
+				Seed:    s,
+				Rate:    0.02,
+				Kinds:   []faulty.Kind{faulty.KindError, faulty.KindPanic, faulty.KindLatency},
+				Latency: time.Millisecond,
+			})
+		},
+	})
+	// The injector faults Build too (contained into a typed error, never an
+	// escaped panic); retry like an operator would — each attempt draws
+	// fresh wrappers from the factory.
+	buildErr := sh.Build(users, items)
+	for attempt := 0; buildErr != nil && attempt < 5; attempt++ {
+		buildErr = sh.Build(users, items)
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	srv, err := NewServer(sh, ServerConfig{AllowPartial: true, MaxBatch: 8, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := srv.Log(MutationLogConfig{MaxEvents: 8, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queriers: degraded mode absorbs injected shard faults as Coverage
+	// gaps. A query can still fail outright — a deadline firing during an
+	// injected hang, or a moment when every shard is quarantined at once —
+	// so failures are counted, not fatal, and bounded below.
+	const queriers, perQuerier = 3, 250
+	var wg sync.WaitGroup
+	var qmu sync.Mutex
+	var ok, degraded, failed int
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < perQuerier; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+				_, cov, err := srv.QueryPartial(ctx, (q*perQuerier+i)%nUsers, k)
+				cancel()
+				qmu.Lock()
+				switch {
+				case err != nil:
+					failed++
+				case cov.Complete():
+					ok++
+				default:
+					degraded++
+				}
+				qmu.Unlock()
+			}
+		}(q)
+	}
+
+	// Mutator: the catalog grows through the log while the queriers run and
+	// shards fault, quarantine, and revive. An injected mutation fault fails
+	// the flush; the log's backoff retries it, so every add must land.
+	for i := 0; i < nAdds; i++ {
+		if _, err := log.Add(pool.RowSlice(i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+
+	total := queriers * perQuerier
+	if ok+degraded < total*9/10 {
+		t.Fatalf("chaos answered only %d ok + %d degraded of %d (%d failed)", ok, degraded, total, failed)
+	}
+	t.Logf("chaos: %d complete, %d degraded, %d failed of %d queries", ok, degraded, failed, total)
+
+	// Drain the log. A flush can keep failing while a fault wrapper is still
+	// armed, so retry until revival has shed it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := log.Flush(); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("log never drained: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sh.AwaitHealthy(10 * time.Second); err != nil {
+		t.Fatalf("shards did not converge to healthy: %v", err)
+	}
+	srv.Close()
+
+	// Convergence oracle: after the dust settles the composite is exact over
+	// the grown corpus, entry-for-entry against a fresh build.
+	corpus := AppendMatrixRows(items, pool)
+	if err := mips.VerifyMutation(sh, core.NewBMM(core.BMMConfig{}), users, corpus, k, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+
+	// No goroutine leaks: the dispatcher, flusher, and reviver are all gone.
+	leakDeadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines %d, baseline %d — leak", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

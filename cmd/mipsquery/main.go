@@ -25,10 +25,18 @@
 //
 //	mipsquery -users u.omx -items i.omx -k 10 -solver lemp -shards 4 -schedule cascade
 //	mipsquery -snapshot sharded.osnp -k 10 -schedule pipelined
+//
+// -timeout bounds the whole batch with a context deadline (the run fails
+// with a deadline error instead of overstaying), and -partial answers a
+// sharded run in degraded mode — healthy shards only — printing the
+// coverage report (answered shards, skipped shards, items covered):
+//
+//	mipsquery -users u.omx -items i.omx -k 10 -solver bmm -shards 4 -timeout 500ms -partial
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +68,8 @@ func main() {
 		savePath  = flag.String("save", "", "write the built index as a snapshot to this path")
 		shards    = flag.Int("shards", 0, "item-shard the solver across this many by-norm shards (0/1 = unsharded)")
 		schedule  = flag.String("schedule", "", "wave schedule for a sharded solver: auto | single | two-wave | cascade | pipelined")
+		timeout   = flag.Duration("timeout", 0, "query deadline (e.g. 500ms); the batch fails with a deadline error instead of running long")
+		partial   = flag.Bool("partial", false, "degraded mode for a sharded solver: answer from healthy shards and print the coverage report")
 	)
 	flag.Parse()
 	if *snapPath == "" && (*usersPath == "" || *itemsPath == "") {
@@ -85,7 +95,7 @@ func main() {
 			fmt.Printf("schedule %s (active %s)\n", *schedule, sh.ActiveScheduleName())
 		}
 		start := time.Now()
-		results, err = s.QueryAll(*k)
+		results, err = runQueries(s, *k, *timeout, *partial)
 		if err != nil {
 			fatal(err)
 		}
@@ -110,6 +120,9 @@ func main() {
 		if *solver == "optimus" {
 			if *shards > 1 {
 				fatal(fmt.Errorf("-shards does not combine with -solver optimus (shard an explicit solver)"))
+			}
+			if *timeout > 0 || *partial {
+				fatal(fmt.Errorf("-timeout/-partial do not combine with -solver optimus (use an explicit solver)"))
 			}
 			opt := core.NewOptimus(core.OptimusConfig{Seed: *seed, Threads: *threads},
 				core.NewMaximus(core.MaximusConfig{Seed: *seed, Threads: *threads}),
@@ -156,7 +169,7 @@ func main() {
 			if sh, ok := s.(*shard.Sharded); ok {
 				fmt.Printf("sharded %d ways by norm, schedule %s\n", *shards, sh.ActiveScheduleName())
 			}
-			results, err = s.QueryAll(*k)
+			results, err = runQueries(s, *k, *timeout, *partial)
 			if err != nil {
 				fatal(err)
 			}
@@ -185,6 +198,52 @@ func main() {
 		}
 		fmt.Println("wrote", *outPath)
 	}
+}
+
+// runQueries answers the full batch, honoring -timeout (a context deadline
+// through the solver's QueryCtx) and -partial (degraded mode through
+// QueryPartial, printing the coverage report).
+func runQueries(s mips.Solver, k int, timeout time.Duration, partial bool) ([][]topk.Entry, error) {
+	var ctx context.Context
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+	}
+	if partial {
+		pq, ok := s.(mips.PartialQuerier)
+		if !ok {
+			return nil, fmt.Errorf("-partial: solver %s cannot degrade (shard it with -shards > 1)", s.Name())
+		}
+		results, cov, err := pq.QueryPartial(ctx, allUsers(s), k)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("coverage:", cov.String())
+		return results, nil
+	}
+	if ctx != nil {
+		cq, ok := s.(mips.CancellableQuerier)
+		if !ok {
+			return nil, fmt.Errorf("-timeout: solver %s does not support deadlines", s.Name())
+		}
+		return cq.QueryCtx(ctx, allUsers(s), k, mips.QueryOptions{})
+	}
+	return s.QueryAll(k)
+}
+
+// allUsers enumerates every built user id — the batch the flag-driven query
+// paths answer (QueryAll without the flags).
+func allUsers(s mips.Solver) []int {
+	n := 0
+	if sz, ok := s.(mips.Sized); ok {
+		n = sz.NumUsers()
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
 }
 
 func newSolver(name string, threads int, seed int64) (mips.Solver, error) {

@@ -22,6 +22,7 @@
 package conetree
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -277,7 +278,7 @@ func bound(n *node, u []float64, unorm float64) float64 {
 
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
-	return x.query(userIDs, k, nil, nil)
+	return x.query(nil, userIDs, k, nil, nil)
 }
 
 // QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
@@ -289,7 +290,7 @@ func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]top
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, floors, nil)
+	return x.query(nil, userIDs, k, floors, nil)
 }
 
 // QueryWithFloorBoard implements mips.LiveFloorQuerier: the descent re-reads
@@ -301,10 +302,20 @@ func (x *Index) QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoard
 	if err := mips.ValidateFloorBoard(userIDs, board); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, nil, board)
+	return x.query(nil, userIDs, k, nil, board)
 }
 
-func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
+// QueryCtx implements mips.CancellableQuerier: ctx is polled once per user
+// and at every internal node the descent enters — the tree's natural pruning
+// granularity, the same place the live floor board is re-polled.
+func (x *Index) QueryCtx(ctx context.Context, userIDs []int, k int, opts mips.QueryOptions) ([][]topk.Entry, error) {
+	if err := mips.ValidateQueryOptions(userIDs, opts); err != nil {
+		return nil, err
+	}
+	return x.query(ctx, userIDs, k, opts.Floors, opts.Board)
+}
+
+func (x *Index) query(ctx context.Context, userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
 	if x.root == nil {
 		return nil, fmt.Errorf("conetree: Query before Build")
 	}
@@ -315,6 +326,9 @@ func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorB
 	run := func(lo, hi int) error {
 		var scanned int64
 		for qi := lo; qi < hi; qi++ {
+			if err := mips.CtxErr(ctx); err != nil {
+				return err
+			}
 			u := userIDs[qi]
 			if u < 0 || u >= x.users.Rows() {
 				return fmt.Errorf("conetree: user id %d out of range [0,%d)", u, x.users.Rows())
@@ -327,13 +341,13 @@ func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorB
 				floor = board.Floor(qi)
 			}
 			h := topk.NewSeeded(k, floor)
-			x.search(x.root, urow, mat.Norm(urow), h, board, qi, &scanned)
+			x.search(ctx, x.root, urow, mat.Norm(urow), h, board, qi, &scanned)
 			out[qi] = h.Sorted()
 		}
 		x.scanned.Add(scanned)
 		return nil
 	}
-	if err := parallel.ForErrThreads(x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
+	if err := parallel.ForErrCtx(ctx, x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -354,12 +368,17 @@ func (x *Index) QueryAll(k int) ([][]topk.Entry, error) {
 // descent. With a live board, each internal-node entry re-polls the user's
 // cell and tightens the heap floor before the children's bounds are judged.
 // scanned accumulates leaf-item evaluations.
-func (x *Index) search(n *node, u []float64, unorm float64, h *topk.Heap, board *topk.FloorBoard, cell int, scanned *int64) {
+func (x *Index) search(ctx context.Context, n *node, u []float64, unorm float64, h *topk.Heap, board *topk.FloorBoard, cell int, scanned *int64) {
 	if n.left == nil {
 		*scanned += int64(n.hi - n.lo)
 		for s := n.lo; s < n.hi; s++ {
 			h.Push(x.ids[s], blas.Dot(u, x.reordered.Row(s)))
 		}
+		return
+	}
+	// Cancelled: unwind the descent; the partial heap is discarded by the
+	// caller's per-user ctx poll (or the fan-out's final check).
+	if ctx != nil && ctx.Err() != nil {
 		return
 	}
 	if board != nil {
@@ -374,10 +393,10 @@ func (x *Index) search(n *node, u []float64, unorm float64, h *topk.Heap, board 
 		bFirst, bSecond = br, bl
 	}
 	if thr, ok := h.Threshold(); !ok || bFirst >= thr-slack(thr) {
-		x.search(first, u, unorm, h, board, cell, scanned)
+		x.search(ctx, first, u, unorm, h, board, cell, scanned)
 	}
 	if thr, ok := h.Threshold(); !ok || bSecond >= thr-slack(thr) {
-		x.search(second, u, unorm, h, board, cell, scanned)
+		x.search(ctx, second, u, unorm, h, board, cell, scanned)
 	}
 }
 

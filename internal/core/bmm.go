@@ -4,6 +4,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -181,16 +182,31 @@ func (b *BMM) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]topk.
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	res, _, err := b.queryStats(userIDs, k, floors)
+	res, _, err := b.queryStats(nil, userIDs, k, floors)
+	return res, err
+}
+
+// QueryCtx implements mips.CancellableQuerier: ctx is polled at every score
+// slab and every harvest chunk — the natural units of BMM's monolithic GEMM.
+// A live board is snapshotted into static floors (valid: cells only rise).
+func (b *BMM) QueryCtx(ctx context.Context, userIDs []int, k int, opts mips.QueryOptions) ([][]topk.Entry, error) {
+	if err := mips.ValidateQueryOptions(userIDs, opts); err != nil {
+		return nil, err
+	}
+	floors := opts.Floors
+	if opts.Board != nil {
+		floors = opts.Board.Snapshot(nil)
+	}
+	res, _, err := b.queryStats(ctx, userIDs, k, floors)
 	return res, err
 }
 
 // QueryStats is Query with a stage-time breakdown.
 func (b *BMM) QueryStats(userIDs []int, k int) ([][]topk.Entry, BMMStats, error) {
-	return b.queryStats(userIDs, k, nil)
+	return b.queryStats(nil, userIDs, k, nil)
 }
 
-func (b *BMM) queryStats(userIDs []int, k int, floors []float64) ([][]topk.Entry, BMMStats, error) {
+func (b *BMM) queryStats(ctx context.Context, userIDs []int, k int, floors []float64) ([][]topk.Entry, BMMStats, error) {
 	var st BMMStats
 	if b.users == nil {
 		return nil, st, fmt.Errorf("core: BMM Query before Build")
@@ -205,7 +221,7 @@ func (b *BMM) queryStats(userIDs []int, k int, floors []float64) ([][]topk.Entry
 	}
 	selected := b.users.SelectRows(userIDs)
 	out := make([][]topk.Entry, len(userIDs))
-	err := b.process(selected, out, k, floors, &st)
+	err := b.process(ctx, selected, out, k, floors, &st)
 	return out, st, err
 }
 
@@ -220,13 +236,13 @@ func (b *BMM) QueryAll(k int) ([][]topk.Entry, error) {
 	}
 	out := make([][]topk.Entry, b.users.Rows())
 	var st BMMStats
-	return out, b.process(b.users, out, k, nil, &st)
+	return out, b.process(nil, b.users, out, k, nil, &st)
 }
 
 // process scores the rows of `queries` against all items slab-by-slab,
 // harvesting top-k rows into out. floors, when non-nil, is aligned with the
 // query rows and seeds each row's harvest heap.
-func (b *BMM) process(queries *mat.Matrix, out [][]topk.Entry, k int, floors []float64, st *BMMStats) error {
+func (b *BMM) process(ctx context.Context, queries *mat.Matrix, out [][]topk.Entry, k int, floors []float64, st *BMMStats) error {
 	m := queries.Rows()
 	n := b.items.Rows()
 	slabRows := b.cfg.SlabBytes / (8 * n)
@@ -238,6 +254,11 @@ func (b *BMM) process(queries *mat.Matrix, out [][]topk.Entry, k int, floors []f
 	}
 	scores := mat.New(slabRows, n)
 	for lo := 0; lo < m; lo += slabRows {
+		// Slab boundary: one GEMM + one harvest is the natural cancellation
+		// unit for a monolithic multiply.
+		if err := mips.CtxErr(ctx); err != nil {
+			return err
+		}
 		hi := lo + slabRows
 		if hi > m {
 			hi = m
@@ -251,21 +272,25 @@ func (b *BMM) process(queries *mat.Matrix, out [][]topk.Entry, k int, floors []f
 		if floors != nil {
 			slabFloors = floors[lo:hi]
 		}
-		harvest(slab, out[lo:hi], slabFloors, k, b.cfg.Threads)
+		harvest(ctx, slab, out[lo:hi], slabFloors, k, b.cfg.Threads)
 		st.HarvestTime += time.Since(t1)
 	}
 	b.scanned.Add(int64(m) * int64(n))
-	return nil
+	return mips.CtxErr(ctx)
 }
 
 // harvest extracts top-k from every row of a scores slab, in parallel. One
 // heap is reused per worker chunk (topk.SelectRowInto) instead of allocated
 // per row — the GC-churn fix for the BMM hot loop. floors, when non-nil,
-// seeds the heap per row.
-func harvest(scores *mat.Matrix, out [][]topk.Entry, floors []float64, k, threads int) {
+// seeds the heap per row. ctx, when non-nil, is polled per row; abandoned
+// rows are discarded by process's final ctx check.
+func harvest(ctx context.Context, scores *mat.Matrix, out [][]topk.Entry, floors []float64, k, threads int) {
 	parallel.ForThreads(threads, scores.Rows(), queryGrain, func(lo, hi int) {
 		h := topk.New(k)
 		for r := lo; r < hi; r++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			if floors != nil {
 				h.SetFloor(floors[r])
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -484,7 +485,7 @@ func (m *Maximus) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]t
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	res, _, err := m.queryStats(userIDs, k, floors, nil)
+	res, _, err := m.queryStats(nil, userIDs, k, floors, nil)
 	return res, err
 }
 
@@ -499,16 +500,27 @@ func (m *Maximus) QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoa
 	if err := mips.ValidateFloorBoard(userIDs, board); err != nil {
 		return nil, err
 	}
-	res, _, err := m.queryStats(userIDs, k, nil, board)
+	res, _, err := m.queryStats(nil, userIDs, k, nil, board)
 	return res, err
 }
 
 // QueryStats is Query with traversal instrumentation.
 func (m *Maximus) QueryStats(userIDs []int, k int) ([][]topk.Entry, MaximusQueryStats, error) {
-	return m.queryStats(userIDs, k, nil, nil)
+	return m.queryStats(nil, userIDs, k, nil, nil)
 }
 
-func (m *Maximus) queryStats(userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, MaximusQueryStats, error) {
+// QueryCtx implements mips.CancellableQuerier: ctx is polled at every cluster
+// boundary and every floorPollInterval positions of the sorted-bound walks —
+// the same cadence the live floor board is re-polled at.
+func (m *Maximus) QueryCtx(ctx context.Context, userIDs []int, k int, opts mips.QueryOptions) ([][]topk.Entry, error) {
+	if err := mips.ValidateQueryOptions(userIDs, opts); err != nil {
+		return nil, err
+	}
+	res, _, err := m.queryStats(ctx, userIDs, k, opts.Floors, opts.Board)
+	return res, err
+}
+
+func (m *Maximus) queryStats(ctx context.Context, userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, MaximusQueryStats, error) {
 	var st MaximusQueryStats
 	if m.lists == nil {
 		return nil, st, fmt.Errorf("core: MAXIMUS Query before Build")
@@ -534,9 +546,18 @@ func (m *Maximus) queryStats(userIDs []int, k int, floors []float64, board *topk
 		if len(byCluster[c]) == 0 {
 			continue
 		}
-		bt, v := m.queryCluster(c, byCluster[c], userIDs, k, floors, board, out)
+		// Cluster boundary: the natural cancellation seam — each cluster is
+		// one shared-block GEMM plus its members' walks.
+		if err := mips.CtxErr(ctx); err != nil {
+			return nil, st, err
+		}
+		bt, v := m.queryCluster(ctx, c, byCluster[c], userIDs, k, floors, board, out)
 		blockNanos += bt
 		visited[c] = v
+	}
+	// A cancellation that landed mid-cluster left truncated walks; discard.
+	if err := mips.CtxErr(ctx); err != nil {
+		return nil, st, err
 	}
 	st.Traversal = time.Since(start)
 	st.BlockTime = time.Duration(blockNanos)
@@ -556,7 +577,7 @@ const floorPollInterval = 128
 // queryCluster answers all queried users of one cluster; floors (static) or
 // board (live), when non-nil, are aligned with userIDs. Returns block-GEMM
 // nanoseconds and total list positions visited.
-func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, floors []float64, board *topk.FloorBoard, out [][]topk.Entry) (int64, int64) {
+func (m *Maximus) queryCluster(ctx context.Context, c int, queryPos []int, userIDs []int, k int, floors []float64, board *topk.FloorBoard, out [][]topk.Entry) (int64, int64) {
 	list := m.lists[c]
 	bounds := m.bounds[c]
 	nItems := len(list)
@@ -586,6 +607,11 @@ func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, floo
 	perUser := make([]int64, len(queryPos))
 	parallel.ForThreads(m.cfg.Threads, len(queryPos), queryGrain, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
+			// Cancelled: abandon the chunk; the truncated rows are discarded
+			// by queryStats's post-loop ctx check.
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			qi := queryPos[r]
 			u := userIDs[qi]
 			urow := m.users.Row(u)
@@ -625,9 +651,14 @@ func (m *Maximus) queryCluster(c int, queryPos []int, userIDs []int, k int, floo
 			// board the cell is re-polled every floorPollInterval positions.
 			poll := 0
 			for pos := start; pos < nItems; pos++ {
-				if board != nil {
+				if board != nil || ctx != nil {
 					if poll == 0 {
-						h.RaiseFloor(board.Floor(qi))
+						if board != nil {
+							h.RaiseFloor(board.Floor(qi))
+						}
+						if ctx != nil && ctx.Err() != nil {
+							break
+						}
 						poll = floorPollInterval
 					}
 					poll--

@@ -25,6 +25,7 @@
 package fexipro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -331,7 +332,7 @@ func quantize(m *mat.Matrix, scale float64) ([]int32, []float64) {
 
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
-	return x.query(userIDs, k, nil, nil)
+	return x.query(nil, userIDs, k, nil, nil)
 }
 
 // QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
@@ -345,7 +346,7 @@ func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]top
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, floors, nil)
+	return x.query(nil, userIDs, k, floors, nil)
 }
 
 // QueryWithFloorBoard implements mips.LiveFloorQuerier: the norm-sorted scan
@@ -356,10 +357,20 @@ func (x *Index) QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoard
 	if err := mips.ValidateFloorBoard(userIDs, board); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, nil, board)
+	return x.query(nil, userIDs, k, nil, board)
 }
 
-func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
+// QueryCtx implements mips.CancellableQuerier: ctx is polled once per user
+// and every floorPollInterval items of the sequential scan — the same cadence
+// the live floor board is re-polled at.
+func (x *Index) QueryCtx(ctx context.Context, userIDs []int, k int, opts mips.QueryOptions) ([][]topk.Entry, error) {
+	if err := mips.ValidateQueryOptions(userIDs, opts); err != nil {
+		return nil, err
+	}
+	return x.query(ctx, userIDs, k, opts.Floors, opts.Board)
+}
+
+func (x *Index) query(ctx context.Context, userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
 	if x.tItems == nil {
 		return nil, fmt.Errorf("fexipro: Query before Build")
 	}
@@ -369,6 +380,9 @@ func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorB
 	out := make([][]topk.Entry, len(userIDs))
 	run := func(lo, hi int) error {
 		for qi := lo; qi < hi; qi++ {
+			if err := mips.CtxErr(ctx); err != nil {
+				return err
+			}
 			u := userIDs[qi]
 			if u < 0 || u >= x.tUsers.Rows() {
 				return fmt.Errorf("fexipro: user id %d out of range [0,%d)", u, x.tUsers.Rows())
@@ -379,11 +393,11 @@ func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorB
 			} else if board != nil {
 				floor = board.Floor(qi)
 			}
-			out[qi] = x.queryOne(u, k, floor, board, qi)
+			out[qi] = x.queryOne(ctx, u, k, floor, board, qi)
 		}
 		return nil
 	}
-	if err := parallel.ForErrThreads(x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
+	if err := parallel.ForErrCtx(ctx, x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -402,7 +416,7 @@ func (x *Index) QueryAll(k int) ([][]topk.Entry, error) {
 // before it fills, so every `full` guard below fires immediately. With a live
 // board (nil = static floors), cell is the user's board index and the scan
 // re-polls it every floorPollInterval items.
-func (x *Index) queryOne(u, k int, floor float64, board *topk.FloorBoard, cell int) []topk.Entry {
+func (x *Index) queryOne(ctx context.Context, u, k int, floor float64, board *topk.FloorBoard, cell int) []topk.Entry {
 	f := x.f
 	tu := x.tUsers.Row(u)
 	tuHead := tu[:x.h]
@@ -418,9 +432,16 @@ func (x *Index) queryOne(u, k int, floor float64, board *topk.FloorBoard, cell i
 	n := x.tItems.Rows()
 	poll := 0
 	for s := 0; s < n; s++ {
-		if board != nil {
+		if board != nil || ctx != nil {
 			if poll == 0 {
-				h.RaiseFloor(board.Floor(cell))
+				if board != nil {
+					h.RaiseFloor(board.Floor(cell))
+				}
+				// Cancelled: abandon the scan; the partial heap is discarded
+				// by the caller's per-user ctx poll.
+				if ctx != nil && ctx.Err() != nil {
+					break
+				}
 				poll = floorPollInterval
 			}
 			poll--

@@ -16,6 +16,7 @@
 package lemp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -366,7 +367,7 @@ func (x *Index) ResetScanStats() { x.scanned.Store(0) }
 
 // Query implements mips.Solver.
 func (x *Index) Query(userIDs []int, k int) ([][]topk.Entry, error) {
-	return x.query(userIDs, k, nil, nil)
+	return x.query(nil, userIDs, k, nil, nil)
 }
 
 // QueryWithFloors implements mips.ThresholdQuerier: each user's heap is
@@ -377,7 +378,7 @@ func (x *Index) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]top
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, floors, nil)
+	return x.query(nil, userIDs, k, floors, nil)
 }
 
 // QueryWithFloorBoard implements mips.LiveFloorQuerier: the board seeds each
@@ -391,10 +392,20 @@ func (x *Index) QueryWithFloorBoard(userIDs []int, k int, board *topk.FloorBoard
 	if err := mips.ValidateFloorBoard(userIDs, board); err != nil {
 		return nil, err
 	}
-	return x.query(userIDs, k, nil, board)
+	return x.query(nil, userIDs, k, nil, board)
 }
 
-func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
+// QueryCtx implements mips.CancellableQuerier: ctx is polled once per user
+// and at every bucket boundary — the same seam the live floor board polls —
+// so cancellation lands within one bucket scan.
+func (x *Index) QueryCtx(ctx context.Context, userIDs []int, k int, opts mips.QueryOptions) ([][]topk.Entry, error) {
+	if err := mips.ValidateQueryOptions(userIDs, opts); err != nil {
+		return nil, err
+	}
+	return x.query(ctx, userIDs, k, opts.Floors, opts.Board)
+}
+
+func (x *Index) query(ctx context.Context, userIDs []int, k int, floors []float64, board *topk.FloorBoard) ([][]topk.Entry, error) {
 	if x.sorted == nil {
 		return nil, fmt.Errorf("lemp: Query before Build")
 	}
@@ -405,7 +416,11 @@ func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorB
 	out := make([][]topk.Entry, len(userIDs))
 	run := func(lo, hi int) error {
 		scratch := newScratch()
+		scratch.ctx = ctx
 		for qi := lo; qi < hi; qi++ {
+			if err := mips.CtxErr(ctx); err != nil {
+				return err
+			}
 			u := userIDs[qi]
 			if u < 0 || u >= x.users.Rows() {
 				return fmt.Errorf("lemp: user id %d out of range [0,%d)", u, x.users.Rows())
@@ -423,7 +438,7 @@ func (x *Index) query(userIDs []int, k int, floors []float64, board *topk.FloorB
 		scratch.scanned = 0
 		return nil
 	}
-	if err := parallel.ForErrThreads(x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
+	if err := parallel.ForErrCtx(ctx, x.cfg.Threads, len(userIDs), queryGrain, run); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -456,6 +471,7 @@ type scratch struct {
 	bucketTimes  [][numAlgos]time.Duration
 	board        *topk.FloorBoard
 	cell         int
+	ctx          context.Context // nil outside QueryCtx; polled per bucket
 }
 
 func newScratch() *scratch { return &scratch{} }
@@ -515,6 +531,11 @@ func (x *Index) queryOne(user []float64, k int, floor float64, tn *tuning, scr *
 	scr.usuf2 = mat.Norm(user[x.cp2:])
 	h := topk.NewSeeded(k, floor)
 	for b, bk := range x.buckets {
+		// Cancellation lands at the bucket boundary too: the partial heap is
+		// discarded by the caller, which returns ctx.Err() from its own poll.
+		if scr.ctx != nil && scr.ctx.Err() != nil {
+			break
+		}
 		// Live floors: re-poll the user's board cell at the bucket boundary,
 		// so a bound published by a concurrent shard tightens this walk's
 		// break and the within-bucket prunes below (monotone — see

@@ -135,6 +135,17 @@ type Stats struct {
 	// a fresh snapshot (enqueue-side journal failures, by contrast, reject
 	// the enqueue and keep journal and log consistent).
 	JournalErrors int64
+	// Retries counts backoff sleeps taken by the background flusher after
+	// failed applies. The flusher retries a failing batch with capped
+	// exponential backoff rather than a constant MaxDelay, so a persistently
+	// failing applier costs one attempt per backoff step instead of a hot
+	// retry loop; Retries growing while Flushes stands still is the signature
+	// of a stuck applier.
+	Retries int64
+	// LastFlushErr is the most recent apply error, nil again once any flush
+	// succeeds. It surfaces the cause behind FlushErrors/Retries without
+	// requiring the caller to intercept the background flusher.
+	LastFlushErr error
 }
 
 // Handle identifies one enqueued item across the flush boundary; see the
@@ -451,7 +462,17 @@ func (l *Log) Flush() error {
 	if l.closed {
 		return ErrClosed
 	}
-	return l.flushLocked()
+	return l.notedFlushLocked()
+}
+
+// notedFlushLocked runs flushLocked and records the outcome in
+// Stats.LastFlushErr (set on failure, cleared on any success) so callers
+// that swallow the error — the background flusher, the size trigger —
+// still leave the cause visible.
+func (l *Log) notedFlushLocked() error {
+	err := l.flushLocked()
+	l.stats.LastFlushErr = err
+	return err
 }
 
 // Close stops the background flusher, applies any pending batch, and marks
@@ -470,7 +491,7 @@ func (l *Log) Close() error {
 	<-l.done
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.flushLocked()
+	return l.notedFlushLocked()
 }
 
 // pendingLocked is the pending event count the flush policy watches.
@@ -497,7 +518,7 @@ func (l *Log) maybeSizeFlushLocked() {
 	if l.replaying || l.maxEvents <= 0 || l.pendingLocked() < l.maxEvents {
 		return
 	}
-	if err := l.flushLocked(); err != nil {
+	if err := l.notedFlushLocked(); err != nil {
 		l.stats.FlushErrors++
 	}
 }
@@ -624,16 +645,22 @@ func (l *Log) flushLocked() error {
 }
 
 // flusher is the MaxDelay staleness enforcer: it wakes when a batch starts,
-// sleeps until the batch's deadline, and applies it. A failed apply backs
-// off one MaxDelay before retrying (the events stay pending).
+// sleeps until the batch's deadline, and applies it. A failed apply retries
+// with capped exponential backoff (the events stay pending): MaxDelay
+// doubling per consecutive failure up to one second (or MaxDelay itself if
+// configured larger), jittered ±12.5% so replicas sharing a broken backing
+// store don't retry in lockstep. The streak resets once a flush succeeds or
+// a fresh batch arms.
 func (l *Log) flusher() {
 	defer close(l.done)
+	rng := uint64(0x9e3779b97f4a7c15)
 	for {
 		select {
 		case <-l.stop:
 			return
 		case <-l.kick:
 		}
+		streak := 0
 		for {
 			l.mu.Lock()
 			if l.closed || l.pendingLocked() == 0 {
@@ -642,15 +669,17 @@ func (l *Log) flusher() {
 			}
 			wait := time.Until(l.deadline)
 			if wait <= 0 {
-				err := l.flushLocked()
+				err := l.notedFlushLocked()
 				if err != nil {
 					l.stats.FlushErrors++
+					streak++
+					l.stats.Retries++
 				}
 				l.mu.Unlock()
 				if err == nil {
 					break
 				}
-				wait = l.maxDelay
+				wait = retryWait(l.maxDelay, streak, &rng)
 			} else {
 				l.mu.Unlock()
 			}
@@ -661,6 +690,29 @@ func (l *Log) flusher() {
 			}
 		}
 	}
+}
+
+// retryWait is the flusher's backoff schedule: for the streak-th consecutive
+// failed apply (streak ≥ 1) it returns MaxDelay·2^(streak−1) capped at one
+// second — or at MaxDelay itself when that is configured larger — with a
+// ±12.5% multiplicative jitter drawn from an xorshift generator (no global
+// rand dependency; the exact sequence is irrelevant, only its spread).
+func retryWait(maxDelay time.Duration, streak int, rng *uint64) time.Duration {
+	lim := time.Second
+	if maxDelay > lim {
+		lim = maxDelay
+	}
+	wait := maxDelay
+	for i := 1; i < streak && wait < lim; i++ {
+		wait *= 2
+	}
+	if wait > lim {
+		wait = lim
+	}
+	*rng ^= *rng << 13
+	*rng ^= *rng >> 7
+	*rng ^= *rng << 17
+	return wait - wait/8 + time.Duration(*rng%uint64(wait/4+1))
 }
 
 // nthSurvivor returns the v-th (0-based) live id not present in the

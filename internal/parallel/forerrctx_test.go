@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForErrCtxNilCtxDelegates(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		var visited int32
+		boom := errors.New("boom")
+		err := ForErrCtx(nil, threads, 10, 1, func(lo, hi int) error {
+			atomic.AddInt32(&visited, int32(hi-lo))
+			if lo == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("threads=%d: err = %v, want chunk error", threads, err)
+		}
+		if visited != 10 {
+			t.Fatalf("threads=%d: visited %d of 10 indexes", threads, visited)
+		}
+	}
+}
+
+func TestForErrCtxLiveCtxMatchesForErr(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		var visited int32
+		err := ForErrCtx(context.Background(), threads, 100, 7, func(lo, hi int) error {
+			atomic.AddInt32(&visited, int32(hi-lo))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("threads=%d: err = %v", threads, err)
+		}
+		if visited != 100 {
+			t.Fatalf("threads=%d: visited %d of 100 indexes", threads, visited)
+		}
+	}
+}
+
+func TestForErrCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, threads := range []int{1, 4} {
+		var visited int32
+		err := ForErrCtx(ctx, threads, 50, 1, func(lo, hi int) error {
+			atomic.AddInt32(&visited, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("threads=%d: err = %v, want Canceled", threads, err)
+		}
+		if visited != 0 {
+			t.Fatalf("threads=%d: %d chunks ran under a dead ctx", threads, visited)
+		}
+	}
+}
+
+func TestForErrCtxMidRunCancelSkipsAndWins(t *testing.T) {
+	// Serial path (deterministic order): chunk 0 errors AND cancels; later
+	// chunks are skipped and the ctx error takes priority over the chunk's.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visited int32
+	boom := errors.New("boom")
+	err := ForErrCtx(ctx, 1, 20, 1, func(lo, hi int) error {
+		atomic.AddInt32(&visited, 1)
+		cancel()
+		return boom
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled to outrank the chunk error", err)
+	}
+	if visited != 1 {
+		t.Fatalf("%d chunks ran after cancellation, want 1", visited)
+	}
+}

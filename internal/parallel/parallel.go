@@ -174,6 +174,68 @@ func ForErrThreads(threads, n, grain int, fn func(lo, hi int) error) error {
 	return nil
 }
 
+// ForErrCtx is ForErrThreads with cooperative cancellation: once ctx is
+// done, workers stop claiming new chunks (in-flight chunk bodies finish —
+// bodies that want finer-grained cancellation poll ctx themselves) and the
+// call returns ctx.Err(). While ctx is live the behavior is identical to
+// ForErrThreads, including the lowest-indexed-error rule; a nil ctx is
+// "never cancelled" and delegates outright.
+func ForErrCtx(ctx ctxDoner, threads, n, grain int, fn func(lo, hi int) error) error {
+	if ctx == nil {
+		return ForErrThreads(threads, n, grain, fn)
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nchunks := Chunks(n, grain)
+	if nchunks == 0 {
+		return ctx.Err()
+	}
+	workers := Resolve(threads)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		var first error
+		for c := 0; c < nchunks; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo, hi := bounds(c, grain, n)
+			if err := fn(lo, hi); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return first
+	}
+	errs := make([]error, nchunks)
+	run(workers, nchunks, func(c int) {
+		if ctx.Err() != nil {
+			return
+		}
+		lo, hi := bounds(c, grain, n)
+		errs[c] = fn(lo, hi)
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ctxDoner is the subset of context.Context ForErrCtx needs; keeping it
+// structural avoids importing context into this dependency-free package.
+type ctxDoner interface {
+	Err() error
+}
+
 // bounds returns chunk c's index range for the given grain, clipped to n.
 func bounds(c, grain, n int) (lo, hi int) {
 	lo = c * grain

@@ -54,6 +54,13 @@ type Config struct {
 	// SetScheduleByName method and fails on an unknown name or a solver
 	// without wave scheduling. Empty leaves the solver's schedule alone.
 	Schedule string
+	// AllowPartial switches the server to degraded-mode dispatch: batches
+	// are answered through the solver's mips.PartialQuerier — results come
+	// from the healthy shards, skipped shards appear in the Coverage report
+	// QueryPartial returns — instead of failing closed on the first shard
+	// fault. New rejects the setting when the solver cannot answer
+	// partially. The default (false) keeps strict fail-closed dispatch.
+	AllowPartial bool
 }
 
 // DefaultConfig returns the defaults documented on Config.
@@ -83,6 +90,14 @@ type Stats struct {
 	LogPending       int
 	LogFlushes       int64
 	LogFlushedEvents int64
+	// LogRetries and LastFlushErr mirror the log's backoff state: retry
+	// sleeps the background flusher has taken after failed applies, and the
+	// most recent apply error (nil once a flush succeeds). A growing
+	// LogRetries with a stable LogFlushes means enqueued mutations are
+	// stalled behind a failing applier — the serving-side signal to
+	// inspect LastFlushErr rather than keep enqueueing.
+	LogRetries   int64
+	LastFlushErr error
 	// Schedule is the wave schedule the solver is actively running ("" when
 	// the solver has no wave scheduling), and WaveScans its cumulative
 	// per-wave scan counts (nil likewise) — the serving-side view of the
@@ -105,11 +120,16 @@ type waveScheduler interface {
 type request struct {
 	userID int
 	k      int
-	done   chan response
+	// ctx is the submitting Query's context: dispatch drops the request
+	// when it is already cancelled, and the group's solver call runs under
+	// a context derived from the members' deadlines.
+	ctx  context.Context
+	done chan response
 }
 
 type response struct {
 	entries []topk.Entry
+	cov     mips.Coverage // degraded-mode coverage (AllowPartial only)
 	err     error
 }
 
@@ -177,6 +197,11 @@ func New(solver mips.Solver, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serving: %w", err)
 		}
 	}
+	if cfg.AllowPartial {
+		if _, ok := solver.(mips.PartialQuerier); !ok {
+			return nil, fmt.Errorf("serving: %s cannot answer partially (mips.PartialQuerier)", solver.Name())
+		}
+	}
 	s := &Server{
 		cfg:    cfg,
 		solver: solver,
@@ -189,33 +214,60 @@ func New(solver mips.Solver, cfg Config) (*Server, error) {
 }
 
 // Query answers one user's exact top-k, waiting for a batch slot. It returns
-// the solver's error for invalid ids or k, ctx.Err() on cancellation, and
-// ErrClosed after Close.
+// the solver's error for invalid ids or k, ctx.Err() on cancellation
+// (whether it fires while queued or after dispatch began — the deadline
+// propagates into the solver call itself when the solver is cancellable),
+// and ErrClosed after Close.
 func (s *Server) Query(ctx context.Context, userID, k int) ([]topk.Entry, error) {
+	resp, err := s.submit(ctx, userID, k)
+	if err != nil {
+		return nil, err
+	}
+	return resp.entries, resp.err
+}
+
+// QueryPartial is Query under degraded-mode dispatch (Config.AllowPartial):
+// alongside the entries it reports exactly which shards of the backing
+// solver answered — an answer with an incomplete Coverage is exact over the
+// covered item subset and silent about the rest.
+func (s *Server) QueryPartial(ctx context.Context, userID, k int) ([]topk.Entry, mips.Coverage, error) {
+	if !s.cfg.AllowPartial {
+		return nil, mips.Coverage{}, errors.New("serving: QueryPartial requires Config.AllowPartial")
+	}
+	resp, err := s.submit(ctx, userID, k)
+	if err != nil {
+		return nil, mips.Coverage{}, err
+	}
+	return resp.entries, resp.cov, resp.err
+}
+
+// submit enqueues one request and waits for its response or ctx.
+func (s *Server) submit(ctx context.Context, userID, k int) (response, error) {
 	// Registering under the lock makes enqueue-vs-Close atomic: once this
 	// succeeds the dispatcher is guaranteed to outlive the request.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return response{}, ErrClosed
 	}
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
 
-	req := request{userID: userID, k: k, done: make(chan response, 1)}
+	req := request{userID: userID, k: k, ctx: ctx, done: make(chan response, 1)}
 	select {
 	case s.queue <- req:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return response{}, ctx.Err()
 	}
 	select {
 	case resp := <-req.done:
-		return resp.entries, resp.err
+		return resp, nil
 	case <-ctx.Done():
 		// The batch may still execute; the buffered done channel lets it
-		// complete without leaking a goroutine.
-		return nil, ctx.Err()
+		// complete (and its late response be dropped) without leaking a
+		// goroutine or blocking the dispatcher.
+		return response{}, ctx.Err()
 	}
 }
 
@@ -236,6 +288,8 @@ func (s *Server) Stats() Stats {
 		st.LogPending = ls.PendingEvents
 		st.LogFlushes = ls.Flushes
 		st.LogFlushedEvents = ls.FlushedEvents
+		st.LogRetries = ls.Retries
+		st.LastFlushErr = ls.LastFlushErr
 	}
 	// The schedule view reads the solver without s.mu: schedule changes go
 	// through the solver lock (Mutate-style exclusivity), and the scan
@@ -428,30 +482,95 @@ func (s *Server) drain() {
 }
 
 // dispatch groups a batch by k (the solver API takes one k per call) and
-// executes each group with a single Query. It holds the solver read lock
-// throughout, so the whole batch — retries included — answers against one
-// catalog generation (see Mutate).
+// executes each group with a single solver call. It holds the solver read
+// lock throughout, so the whole batch — retries included — answers against
+// one catalog generation (see Mutate).
 func (s *Server) dispatch(batch []request) {
 	s.solverMu.RLock()
 	defer s.solverMu.RUnlock()
 	byK := make(map[int][]request)
 	for _, req := range batch {
+		// A request whose caller already gave up pays no solver time; its
+		// Query returned ctx.Err() at cancellation and the buffered done
+		// channel absorbs this late error.
+		if req.ctx != nil && req.ctx.Err() != nil {
+			req.done <- response{err: req.ctx.Err()}
+			continue
+		}
 		byK[req.k] = append(byK[req.k], req)
 	}
 	for k, reqs := range byK {
-		results, err := s.solver.Query(groupIDs(reqs), k)
+		ctx, cancel := groupContext(reqs)
+		results, cov, err := s.queryGroup(ctx, groupIDs(reqs), k)
+		if cancel != nil {
+			cancel()
+		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Not retryable: a retry would run past the same deadline
+				// again, stalling every later group behind a dead one.
+				for _, req := range reqs {
+					req.done <- response{err: err}
+				}
+				continue
+			}
 			s.retryGroup(reqs, k)
 			continue
 		}
 		for i, req := range reqs {
-			req.done <- response{entries: results[i]}
+			req.done <- response{entries: results[i], cov: cov}
 		}
 	}
 	s.mu.Lock()
 	s.requests += int64(len(batch))
 	s.batches++
 	s.mu.Unlock()
+}
+
+// queryGroup is the single seam every batch (and retry) answers through:
+// degraded-mode dispatch under Config.AllowPartial, a cancellable query
+// when a group deadline exists and the solver can honor it, the plain
+// strict Query otherwise.
+func (s *Server) queryGroup(ctx context.Context, ids []int, k int) ([][]topk.Entry, mips.Coverage, error) {
+	if s.cfg.AllowPartial {
+		pq := s.solver.(mips.PartialQuerier) // checked at New
+		return pq.QueryPartial(ctx, ids, k)
+	}
+	if ctx != nil {
+		if cq, ok := s.solver.(mips.CancellableQuerier); ok {
+			res, err := cq.QueryCtx(ctx, ids, k, mips.QueryOptions{})
+			return res, mips.Coverage{}, err
+		}
+	}
+	res, err := s.solver.Query(ids, k)
+	return res, mips.Coverage{}, err
+}
+
+// groupContext derives the context for one k-group's solver call: the
+// latest member deadline when every member carries one (so no member's
+// answer is cut short by a stranger's tighter budget — each caller's own
+// ctx still bounds what it waits for), and no context at all as soon as one
+// member is deadline-free (the batch must not inherit a bound its members
+// did not all ask for). The returned cancel, when non-nil, must be called
+// to release the deadline timer.
+func groupContext(reqs []request) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, req := range reqs {
+		if req.ctx == nil {
+			return nil, nil
+		}
+		d, ok := req.ctx.Deadline()
+		if !ok {
+			return nil, nil
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	if latest.IsZero() {
+		return nil, nil
+	}
+	return context.WithDeadline(context.Background(), latest)
 }
 
 // retryGroup handles a k-group whose batched Query failed. A bad id or k
@@ -484,7 +603,7 @@ func (s *Server) retryGroup(reqs []request, k int) {
 		return
 	}
 	for _, req := range bad {
-		_, err := s.solver.Query([]int{req.userID}, req.k)
+		_, _, err := s.queryGroup(nil, []int{req.userID}, req.k)
 		if err == nil {
 			// The solver accepted what the size check rejected; trust the
 			// solver and fold the request into the healthy retry.
@@ -496,25 +615,26 @@ func (s *Server) retryGroup(reqs []request, k int) {
 	if len(good) == 0 {
 		return
 	}
-	results, err := s.solver.Query(groupIDs(good), k)
+	results, cov, err := s.queryGroup(nil, groupIDs(good), k)
 	if err != nil {
 		s.retrySerial(good)
 		return
 	}
 	for i, req := range good {
-		req.done <- response{entries: results[i]}
+		req.done <- response{entries: results[i], cov: cov}
 	}
 }
 
 // retrySerial answers every request with its own solver call — the last
-// resort when the poison cannot be localized.
+// resort when the poison cannot be localized. Retries run without the group
+// context (the original failure was not a deadline; see dispatch).
 func (s *Server) retrySerial(reqs []request) {
 	for _, req := range reqs {
-		r, err := s.solver.Query([]int{req.userID}, req.k)
+		r, cov, err := s.queryGroup(nil, []int{req.userID}, req.k)
 		if err != nil {
 			req.done <- response{err: err}
 		} else {
-			req.done <- response{entries: r[0]}
+			req.done <- response{entries: r[0], cov: cov}
 		}
 	}
 }

@@ -80,6 +80,8 @@ type stagedShard struct {
 // each arrival to its owning shard, and touch only the dirty shards (see
 // the package comment on the discipline). Assigned ids are [n, n+m).
 func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if s.shards == nil {
 		return nil, fmt.Errorf("shard: AddItems before Build")
 	}
@@ -126,7 +128,11 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 		for _, r := range rows {
 			newIDs = append(newIDs, base+r)
 		}
-		if _, patchable := sh.solver.(mips.ItemMutator); patchable && sh.count > 0 && s.cfg.Planner == nil {
+		// A quarantined shard's sub-solver cannot be trusted with an
+		// in-place patch; the rebuild path below both applies the mutation
+		// and heals the shard.
+		if _, patchable := sh.solver.(mips.ItemMutator); patchable && sh.count > 0 &&
+			s.cfg.Planner == nil && s.healthOf(si) == Healthy {
 			stages = append(stages, stagedShard{si: si, newIDs: newIDs, patchRows: rows})
 			continue
 		}
@@ -147,25 +153,66 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 		sh := &s.shards[g.si]
 		if g.rebuild {
 			*sh = g.st
+			s.healOne(g.si, false)
 			s.mstats.Rebuilds++
+			s.captureSnap(g.si)
 			continue
 		}
-		ids, err := sh.solver.(mips.ItemMutator).AddItems(newItems.SelectRows(g.patchRows))
-		if err != nil {
-			return nil, fmt.Errorf("shard %d (%s): %w", g.si, sh.plan, err)
+		var ids []int
+		err := guard(func() error {
+			var e error
+			ids, e = sh.solver.(mips.ItemMutator).AddItems(newItems.SelectRows(g.patchRows))
+			return e
+		})
+		if err == nil && (len(ids) != len(g.patchRows) || ids[0] != sh.count) {
+			err = fmt.Errorf("sub-solver assigned ids %v, want [%d,%d)",
+				ids, sh.count, sh.count+len(g.patchRows))
 		}
-		if len(ids) != len(g.patchRows) || ids[0] != sh.count {
-			return nil, fmt.Errorf("shard %d (%s): sub-solver assigned ids %v, want [%d,%d)",
-				g.si, sh.plan, ids, sh.count, sh.count+len(g.patchRows))
+		if err != nil {
+			// The patch ran on composite-validated inputs, so a failure (or
+			// panic, contained by guard) means the sub-solver is in an
+			// unknown state. Repair it on the spot — rebuild over the
+			// intended post-mutation membership — so the commit stays
+			// atomic; if even the rebuild fails, quarantine the shard with
+			// its membership advanced and let the background reviver retry:
+			// the corpus commit below is what makes that revival correct.
+			if s.repairShard(g.si, g.newIDs, items, err) == nil {
+				s.mstats.Rebuilds++
+			}
+			continue
 		}
 		sh.ids, sh.count = g.newIDs, len(g.newIDs)
 		s.mstats.Patches++
+		s.dropSnap(g.si) // the retained snapshot predates the patch
 	}
 	s.items = items
 	s.gen++
+	s.epoch++
 	s.mstats.Mutations++
 	s.refreshComposite()
 	return mips.IDRange(base, m), nil
+}
+
+// repairShard restores a shard whose in-place patch failed mid-commit:
+// rebuild it over its intended post-mutation membership (drawn from the
+// post-mutation corpus). On success the shard is healthy and the mutation
+// is applied; on failure the shard is quarantined with cause, its
+// membership still advanced so the background reviver rebuilds it against
+// the right corpus rows. Either way the composite-level mutation commits.
+func (s *Sharded) repairShard(si int, newIDs []int, items *mat.Matrix, cause error) error {
+	sh := &s.shards[si]
+	tmp := *sh
+	tmp.ids, tmp.count = newIDs, len(newIDs)
+	if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs)); err != nil {
+		sh.ids, sh.count = newIDs, len(newIDs)
+		s.dropSnap(si)
+		s.quarantine(si, cause)
+		return err
+	}
+	*sh = tmp
+	s.healOne(si, false)
+	s.captureSnap(si)
+	return nil
 }
 
 // RemoveItems implements mips.ItemMutator: compact the global corpus and
@@ -173,6 +220,8 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 // renumbered arithmetically; their indexes are not rebuilt. Like AddItems,
 // all fallible work is staged and committed only once it has all succeeded.
 func (s *Sharded) RemoveItems(ids []int) error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if s.shards == nil {
 		return fmt.Errorf("shard: RemoveItems before Build")
 	}
@@ -215,7 +264,10 @@ func (s *Sharded) RemoveItems(ids []int) error {
 			// the query fan-out) until an arrival revives it.
 			g.dead = true
 		default:
-			if _, patchable := sh.solver.(mips.ItemMutator); !patchable || s.cfg.Planner != nil {
+			// Quarantined shards take the rebuild path like unpatchable
+			// ones: it applies the removal and heals in one step.
+			if _, patchable := sh.solver.(mips.ItemMutator); !patchable ||
+				s.cfg.Planner != nil || s.healthOf(si) != Healthy {
 				tmp := *sh
 				tmp.ids, tmp.count = newIDs, len(newIDs)
 				if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs)); err != nil {
@@ -233,22 +285,37 @@ func (s *Sharded) RemoveItems(ids []int) error {
 		switch {
 		case g.dead:
 			sh.solver, sh.ids, sh.count = nil, nil, 0
+			s.healOne(g.si, false) // nothing left to revive
+			s.dropSnap(g.si)
 			s.mstats.Emptied++
 		case g.rebuild:
 			*sh = g.st
+			s.healOne(g.si, false)
 			s.mstats.Rebuilds++
+			s.captureSnap(g.si)
 		case len(g.patchLocal) > 0:
-			if err := sh.solver.(mips.ItemMutator).RemoveItems(g.patchLocal); err != nil {
-				return fmt.Errorf("shard %d (%s): %w", g.si, sh.plan, err)
+			err := guard(func() error {
+				return sh.solver.(mips.ItemMutator).RemoveItems(g.patchLocal)
+			})
+			if err != nil {
+				// Same repair-or-quarantine policy as AddItems: the commit
+				// finishes either way (see repairShard).
+				if s.repairShard(g.si, g.newIDs, items, err) == nil {
+					s.mstats.Rebuilds++
+				}
+				continue
 			}
 			sh.ids, sh.count = g.newIDs, len(g.newIDs)
 			s.mstats.Patches++
+			s.dropSnap(g.si)
 		default:
-			sh.ids = g.newIDs // clean renumber
+			sh.ids = g.newIDs // clean renumber; the sub-solver (and any
+			// retained snapshot of it) is untouched
 		}
 	}
 	s.items = items
 	s.gen++
+	s.epoch++
 	s.mstats.Mutations++
 	s.refreshComposite()
 	return nil
@@ -276,11 +343,41 @@ func (s *Sharded) RemoveItems(ids []int) error {
 // are fully validated before the first broadcast call, so the whole path is
 // reachable only through a custom sub-solver bug.
 func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if s.shards == nil {
 		return nil, fmt.Errorf("shard: AddUsers before Build")
 	}
 	if err := mips.ValidateAddUsers(newUsers, s.users.Cols()); err != nil {
 		return nil, err
+	}
+	// A quarantined shard's sub-solver cannot be trusted to absorb the
+	// broadcast; heal it first by rebuilding over the pre-mutation state
+	// (failure leaves the composite untouched), so the broadcast below only
+	// ever talks to healthy sub-solvers.
+	healed := false
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if sh.count == 0 || s.healthOf(si) == Healthy {
+			continue
+		}
+		var sub *mat.Matrix
+		if sh.ids == nil {
+			sub = s.items.RowSlice(sh.base, sh.base+sh.count)
+		} else {
+			sub = subMatrix(s.items, sh.ids)
+		}
+		tmp := *sh
+		if err := s.buildShard(&tmp, si, s.users, sub); err != nil {
+			return nil, err
+		}
+		*sh = tmp
+		s.healOne(si, false)
+		s.mstats.Rebuilds++
+		healed = true
+	}
+	if healed {
+		s.refreshComposite() // a re-plan may have changed capabilities
 	}
 	for si := range s.shards {
 		sh := &s.shards[si]
@@ -297,13 +394,18 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 		if sh.count == 0 {
 			continue
 		}
-		ids, err := sh.solver.(mips.UserAdder).AddUsers(newUsers)
+		var ids []int
+		err := guard(func() error {
+			var e error
+			ids, e = sh.solver.(mips.UserAdder).AddUsers(newUsers)
+			return e
+		})
 		if err == nil && (len(ids) != newUsers.Rows() || ids[0] != base) {
 			err = fmt.Errorf("sub-solver assigned user ids %v, want [%d,%d)",
 				ids, base, base+newUsers.Rows())
 		}
 		if err != nil {
-			err = fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
+			err = &ShardError{Shard: si, Plan: sh.plan, Err: err}
 			if rbErr := s.rollbackUserBroadcast(si); rbErr != nil {
 				return nil, fmt.Errorf("%v; rollback failed, composite corrupt: %w", err, rbErr)
 			}
@@ -311,6 +413,12 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 		}
 	}
 	s.users = mat.AppendRows(s.users, newUsers)
+	s.epoch++
+	// Every sub-solver embeds its user matrix, so every retained snapshot
+	// predates the broadcast; drop them all (revival falls back to rebuild).
+	for i := range s.snaps {
+		s.snaps[i] = nil
+	}
 	// Grow the observed-floor boards to the new user count (waves.go);
 	// arrivals start at -Inf until a floor-bearing query reaches them.
 	// AddUsers holds the caller's exclusive lock, so no query races this.

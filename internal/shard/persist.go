@@ -28,6 +28,8 @@ func init() {
 // stored S+1 times. At the repository's shard counts this is an accepted
 // size cost, noted here so a future delta format knows what to dedupe.
 func (s *Sharded) Save(w io.Writer) error {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	if s.items == nil {
 		return fmt.Errorf("shard: Save before Build")
 	}
@@ -140,6 +142,13 @@ func (s *Sharded) Load(r io.Reader) error {
 
 	shards := make([]shardState, nShards)
 	parts := make([][]int, 0, nShards)
+	var snaps [][]byte
+	if s.cfg.RetainShardSnapshots {
+		// The nested per-shard streams are exactly the snapshot sections the
+		// background reviver (health.go) restores from; retaining them at
+		// Load is free — no re-serialization.
+		snaps = make([][]byte, nShards)
+	}
 	for i := 0; i < nShards; i++ {
 		d = pr.Section(fmt.Sprintf("shard%d", i))
 		sh := &shards[i]
@@ -195,6 +204,9 @@ func (s *Sharded) Load(r io.Reader) error {
 			return fmt.Errorf("shard %d: sub-solver holds %d items, manifest says %d", i, sz.NumItems(), sh.count)
 		}
 		sh.solver = sub
+		if snaps != nil {
+			snaps[i] = nested
+		}
 		ids := sh.ids
 		if ids == nil {
 			ids = identityRange(sh.base, sh.base+sh.count)
@@ -226,7 +238,12 @@ func (s *Sharded) Load(r io.Reader) error {
 		return fmt.Errorf("shard: manifest carries routing floors without the head-first marker")
 	}
 
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.epoch++
 	s.users, s.items, s.shards = users, items, shards
+	s.resetHealth(nShards)
+	s.snaps = snaps
 	s.name = name
 	s.gen = gen
 	s.cfg.Schedule = schedule

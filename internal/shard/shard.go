@@ -46,10 +46,13 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"optimus/internal/mat"
 	"optimus/internal/mips"
@@ -182,6 +185,13 @@ type Config struct {
 	// back to SingleWave when ineligible. Exactness is schedule-independent;
 	// only scan counts (and, for Pipelined, their determinism) differ.
 	Schedule Schedule
+	// RetainShardSnapshots keeps each shard's sub-solver snapshot bytes (the
+	// per-shard section of the persistence manifest) in memory after Build
+	// and Load, letting the background reviver (health.go) restore a
+	// quarantined shard without rebuilding it. Costs one serialized copy of
+	// each sub-solver; mutations invalidate the touched shards' copies, and
+	// revival falls back to a rebuild wherever no snapshot is retained.
+	RetainShardSnapshots bool
 }
 
 // shardState is one built partition.
@@ -241,6 +251,26 @@ type Sharded struct {
 	normFloor []float64
 	gen       uint64
 	mstats    MutationStats
+
+	// Fault-containment state (health.go). stateMu serializes structural
+	// state — shards, corpus, epoch — between queries (read side), mutations
+	// and Load (write side), and the background reviver's swap; epoch counts
+	// structural generations so a revival built against a stale corpus is
+	// discarded at swap time instead of committing a wrong membership.
+	// health is the per-shard state word (atomic so the query hot path reads
+	// it lock- and allocation-free); hmu guards the slower bookkeeping
+	// around it. snaps retains per-shard sub-solver snapshot bytes for
+	// snapshot-first revival (Config.RetainShardSnapshots).
+	stateMu    sync.RWMutex
+	epoch      uint64
+	health     []atomic.Int32
+	hmu        sync.Mutex
+	causes     []error
+	attempts   []int
+	revivals   []int
+	reviverOn  bool
+	reviveKick chan struct{}
+	snaps      [][]byte
 }
 
 // New returns an unbuilt Sharded solver. Zero-valued config fields fall
@@ -315,6 +345,8 @@ func (s *Sharded) SetThreads(n int) {
 // shard's norm range, exactly that shard's Builds advances (and only if the
 // mutation took the rebuild/re-plan path rather than an incremental patch).
 func (s *Sharded) Plans() []Plan {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	out := make([]Plan, len(s.shards))
 	for i := range s.shards {
 		out[i] = Plan{Items: s.shards[i].count, Solver: s.shards[i].plan, Builds: s.shards[i].builds}
@@ -348,7 +380,10 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 		return fmt.Errorf("shard: invalid schedule %d", int(s.cfg.Schedule))
 	}
 	// A rebuild over a fresh corpus invalidates prior floor observations.
+	// (Under the state lock: a background revival may be reading obs.)
+	s.stateMu.Lock()
 	s.obs = nil
+	s.stateMu.Unlock()
 	nShards := s.cfg.Shards
 	if nShards > items.Rows() {
 		nShards = items.Rows()
@@ -406,7 +441,12 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 		return err
 	}
 
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.epoch++
 	s.users, s.items, s.shards = users, items, shards
+	s.resetHealth(len(shards))
+	s.captureSnaps()
 	hf, ok := s.cfg.Partitioner.(HeadFirst)
 	s.headFirst = ok && hf.HeadFirst()
 	if s.headFirst {
@@ -438,9 +478,15 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 // buildShard (re)builds one shard's sub-solver over the given sub-matrix —
 // via the Planner when configured, the Factory otherwise — forwards the
 // composite's thread setting, and advances the shard's build counter. It is
-// the shared path under Build (every shard) and mutation (dirty shards
-// only).
-func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix) error {
+// the shared path under Build (every shard), mutation (dirty shards only),
+// and revival (health.go). A panicking Planner, Factory, or sub-solver
+// Build is contained here into a typed error.
+func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("shard %d: building: %w", i, &PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
 	if s.cfg.Planner != nil {
 		solver, plan, err := s.cfg.Planner.Plan(users, subItems)
 		if err != nil {
@@ -562,7 +608,7 @@ func (s *Sharded) ShardScanStats() []mips.ScanStats {
 // first, tails floor-seeded with each user's k-th head score (see the
 // package comment).
 func (s *Sharded) Query(userIDs []int, k int) ([][]topk.Entry, error) {
-	return s.query(userIDs, k, nil)
+	return s.query(nil, userIDs, k, nil, nil)
 }
 
 // QueryWithFloors implements mips.ThresholdQuerier, making Sharded
@@ -574,10 +620,43 @@ func (s *Sharded) QueryWithFloors(userIDs []int, k int, floors []float64) ([][]t
 	if err := mips.ValidateFloors(userIDs, floors); err != nil {
 		return nil, err
 	}
-	return s.query(userIDs, k, floors)
+	return s.query(nil, userIDs, k, floors, nil)
 }
 
-func (s *Sharded) query(userIDs []int, k int, extFloors []float64) ([][]topk.Entry, error) {
+// QueryCtx implements mips.CancellableQuerier: the deadline fans out with
+// the query — every shard dispatch prefers the sub-solver's own QueryCtx
+// (which polls at its natural pruning boundary), and the fan-out itself
+// stops claiming shards once ctx is done.
+func (s *Sharded) QueryCtx(ctx context.Context, userIDs []int, k int, opts mips.QueryOptions) ([][]topk.Entry, error) {
+	if err := mips.ValidateQueryOptions(userIDs, opts); err != nil {
+		return nil, err
+	}
+	floors := opts.Floors
+	if opts.Board != nil {
+		// A live caller board becomes a static snapshot: the wave schedules
+		// own the composite's internal board, and a snapshot of a
+		// monotonically rising board is a valid floor.
+		floors = opts.Board.Snapshot(nil)
+	}
+	return s.query(ctx, userIDs, k, floors, nil)
+}
+
+// QueryPartial implements mips.PartialQuerier: answer from the healthy
+// shards, skip quarantined/faulting ones (and, once ctx fires, shards not
+// yet reached), and report exactly what was covered. Each covered shard's
+// rows are its exact local top-k, so the merged answer is entry-for-entry
+// exact over the covered item subset — degradation shrinks the corpus, it
+// never approximates. With nothing answered the query fails rather than
+// returning a vacuous empty answer.
+func (s *Sharded) QueryPartial(ctx context.Context, userIDs []int, k int) ([][]topk.Entry, mips.Coverage, error) {
+	var cov mips.Coverage
+	res, err := s.query(ctx, userIDs, k, nil, &cov)
+	return res, cov, err
+}
+
+func (s *Sharded) query(ctx context.Context, userIDs []int, k int, extFloors []float64, cov *mips.Coverage) ([][]topk.Entry, error) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	if s.shards == nil {
 		return nil, fmt.Errorf("shard: Query before Build")
 	}
@@ -591,16 +670,34 @@ func (s *Sharded) query(userIDs []int, k int, extFloors []float64) ([][]topk.Ent
 	}
 	sc := s.getScratch(len(userIDs))
 	defer s.putScratch(sc)
+	partial := cov != nil
 	var err error
 	switch s.active {
 	case TwoWave:
-		err = s.queryTwoWave(userIDs, k, extFloors, sc)
+		err = s.queryTwoWave(ctx, userIDs, k, extFloors, sc, partial)
 	case Cascade:
-		err = s.queryCascade(userIDs, k, extFloors, sc)
+		err = s.queryCascade(ctx, userIDs, k, extFloors, sc, partial)
 	case Pipelined:
-		err = s.queryPipelined(userIDs, k, extFloors, sc)
+		err = s.queryPipelined(ctx, userIDs, k, extFloors, sc, partial)
 	default:
-		err = s.fanOut(0, userIDs, k, extFloors, sc.partials)
+		err = s.fanOut(ctx, 0, userIDs, k, extFloors, sc, partial)
+	}
+	if partial {
+		s.fillCoverage(sc, cov)
+		switch {
+		case cov.Answered > 0:
+			// Shard faults were absorbed by settle and any ctx error only
+			// cut the fan-out short; both are gaps Coverage already
+			// reports, not failures of the answered subset.
+			err = nil
+			for si := range sc.partials {
+				if sc.partials[si] == nil {
+					sc.partials[si] = sc.empty
+				}
+			}
+		case err == nil:
+			err = fmt.Errorf("shard: partial query answered 0 of %d shards", cov.Shards)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -630,12 +727,14 @@ func (s *Sharded) query(userIDs []int, k int, extFloors []float64) ([][]topk.Ent
 
 // fanOut queries shards [firstShard, len(shards)) in parallel, collecting
 // the first error — the shared loop under both the single-wave path
-// (firstShard 0) and wave 2 of the two-wave path (firstShard 1).
-func (s *Sharded) fanOut(firstShard int, userIDs []int, k int, floors []float64, partials [][][]topk.Entry) error {
-	return parallel.ForErrThreads(s.cfg.Threads, len(s.shards)-firstShard, 1, func(lo, hi int) error {
+// (firstShard 0) and wave 2 of the two-wave path (firstShard 1). A done ctx
+// stops further shards from being claimed; shards skipped that way stay nil
+// in the partial table (a Coverage gap in partial mode).
+func (s *Sharded) fanOut(ctx context.Context, firstShard int, userIDs []int, k int, floors []float64, sc *queryScratch, partial bool) error {
+	return parallel.ForErrCtx(ctx, s.cfg.Threads, len(s.shards)-firstShard, 1, func(lo, hi int) error {
 		var first error
 		for si := lo + firstShard; si < hi+firstShard; si++ {
-			if e := s.queryShard(si, userIDs, k, floors, partials); e != nil && first == nil {
+			if e := s.queryShard(ctx, si, userIDs, k, floors, sc, partial); e != nil && first == nil {
 				first = e
 			}
 		}
@@ -651,17 +750,22 @@ const mergeGrain = 64
 // floors, when non-nil, seeds the shard's query if its solver accepts
 // floors; a plain Query is a valid substitute (its result is a superset of
 // any floored prefix), so non-capable solvers on the single-wave path just
-// ignore the bound.
-func (s *Sharded) queryShard(si int, userIDs []int, k int, floors []float64, partials [][][]topk.Entry) error {
+// ignore the bound. Failures route through the containment policy (settle):
+// sub-solver panics and errors quarantine the shard, strict mode fails
+// closed, partial mode records a Coverage gap.
+func (s *Sharded) queryShard(ctx context.Context, si int, userIDs []int, k int, floors []float64, sc *queryScratch, partial bool) error {
 	sh := &s.shards[si]
 	if sh.count == 0 {
 		// A shard emptied by removals holds nothing to answer; its nil rows
 		// merge as empty lists. (The pooled scratch pre-points dead shards
 		// at a shared all-nil slab; the allocation covers standalone calls.)
-		if partials[si] == nil {
-			partials[si] = make([][]topk.Entry, len(userIDs))
+		if sc.partials[si] == nil {
+			sc.partials[si] = make([][]topk.Entry, len(userIDs))
 		}
 		return nil
+	}
+	if s.healthOf(si) != Healthy {
+		return s.settle(si, sh.plan, ErrShardQuarantined, partial)
 	}
 	if s.obs != nil && floors != nil && si < len(s.obs) && s.obs[si] != nil {
 		// Record the floors this shard was fed — the construction-side
@@ -672,15 +776,12 @@ func (s *Sharded) queryShard(si int, userIDs []int, k int, floors []float64, par
 	if kq > sh.count {
 		kq = sh.count
 	}
-	var res [][]topk.Entry
-	var err error
-	if tq, ok := sh.solver.(mips.ThresholdQuerier); ok && floors != nil {
-		res, err = tq.QueryWithFloors(userIDs, kq, floors)
-	} else {
-		res, err = sh.solver.Query(userIDs, kq)
+	res, err := s.shardQuery(ctx, sh, si, userIDs, kq, floors, nil, sc)
+	if err == nil {
+		err = sc.perr[si] // a recovered panic left a typed error behind
 	}
 	if err != nil {
-		return fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
+		return s.settle(si, sh.plan, err, partial)
 	}
 	if sh.ids != nil || sh.base != 0 {
 		for _, row := range res {
@@ -689,8 +790,65 @@ func (s *Sharded) queryShard(si int, userIDs []int, k int, floors []float64, par
 			}
 		}
 	}
-	partials[si] = res
+	sc.partials[si] = res
 	return nil
+}
+
+// shardQuery dispatches one shard's sub-solver query under panic containment
+// (recoverShard) through the richest interface the solver and the request
+// support: QueryCtx when a deadline must propagate in-flight, the live board
+// or static floors when seeded, plain Query otherwise. At most one of floors
+// and board may be non-nil. A recovered panic leaves (nil, nil) here and its
+// typed error in sc.perr[si] — the caller folds it back in.
+func (s *Sharded) shardQuery(ctx context.Context, sh *shardState, si int, userIDs []int, kq int, floors []float64, board *topk.FloorBoard, sc *queryScratch) (res [][]topk.Entry, err error) {
+	defer recoverShard(sc, si)
+	if ctx != nil {
+		if cq, ok := sh.solver.(mips.CancellableQuerier); ok {
+			return cq.QueryCtx(ctx, userIDs, kq, mips.QueryOptions{Floors: floors, Board: board})
+		}
+		if err := ctx.Err(); err != nil {
+			// A non-cancellable sub-solver cannot stop mid-flight; at
+			// least do not start past the deadline.
+			return nil, err
+		}
+	}
+	switch {
+	case board != nil:
+		if lq, ok := sh.solver.(mips.LiveFloorQuerier); ok {
+			return lq.QueryWithFloorBoard(userIDs, kq, board)
+		}
+		if tq, ok := sh.solver.(mips.ThresholdQuerier); ok {
+			return tq.QueryWithFloors(userIDs, kq, board.Snapshot(nil))
+		}
+		return sh.solver.Query(userIDs, kq)
+	case floors != nil:
+		if tq, ok := sh.solver.(mips.ThresholdQuerier); ok {
+			return tq.QueryWithFloors(userIDs, kq, floors)
+		}
+		return sh.solver.Query(userIDs, kq)
+	default:
+		return sh.solver.Query(userIDs, kq)
+	}
+}
+
+// fillCoverage derives the partial-mode Coverage report from the fan-out's
+// partial table: a live shard whose slot is still nil was skipped — faulted,
+// quarantined, or never reached before ctx fired. Dead (emptied) shards hold
+// no items and are not counted either way.
+func (s *Sharded) fillCoverage(sc *queryScratch, cov *mips.Coverage) {
+	cov.Items = s.items.Rows()
+	for si := range s.shards {
+		if s.shards[si].count == 0 {
+			continue
+		}
+		cov.Shards++
+		if sc.partials[si] == nil {
+			cov.Skipped = append(cov.Skipped, si)
+		} else {
+			cov.Answered++
+			cov.ItemsCovered += s.shards[si].count
+		}
+	}
 }
 
 // QueryAll implements mips.Solver.
@@ -750,3 +908,9 @@ func identityRange(lo, hi int) []int {
 	}
 	return ids
 }
+
+// The composite propagates deadlines and degrades explicitly (health.go).
+var (
+	_ mips.CancellableQuerier = (*Sharded)(nil)
+	_ mips.PartialQuerier     = (*Sharded)(nil)
+)

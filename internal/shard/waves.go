@@ -37,6 +37,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -104,6 +105,8 @@ func (s *Sharded) SetSchedule(sc Schedule) error {
 	if !sc.valid() {
 		return fmt.Errorf("shard: invalid schedule %d", int(sc))
 	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	s.cfg.Schedule = sc
 	if s.shards != nil {
 		s.refreshComposite()
@@ -162,13 +165,15 @@ func (s *Sharded) WaveScanStats() []mips.ScanStats {
 
 // queryScratch is the pooled per-query state of the fan-out hot path: the
 // per-shard partial-result table, the harvested floor slice, a shared
-// all-nil row slab for dead shards, and (Pipelined only) the live floor
-// board. Pooling these is what makes the orchestration layer
-// allocation-free per query — see TestQueryAllocations.
+// all-nil row slab for dead shards, the per-shard recovered-panic table
+// (health.go), and (Pipelined only) the live floor board. Pooling these is
+// what makes the orchestration layer allocation-free per query — see
+// TestQueryAllocations.
 type queryScratch struct {
 	partials [][][]topk.Entry
 	floors   []float64
 	empty    [][]topk.Entry // all-nil rows; aliased by every dead shard
+	perr     []error        // recoverShard's per-shard fault slots
 	board    *topk.FloorBoard
 }
 
@@ -181,6 +186,13 @@ func (sc *queryScratch) ensure(nShards, nUsers int) {
 	sc.partials = sc.partials[:nShards]
 	for i := range sc.partials {
 		sc.partials[i] = nil
+	}
+	if cap(sc.perr) < nShards {
+		sc.perr = make([]error, nShards)
+	}
+	sc.perr = sc.perr[:nShards]
+	for i := range sc.perr {
+		sc.perr[i] = nil
 	}
 	if cap(sc.empty) < nUsers {
 		sc.empty = make([][]topk.Entry, nUsers)
@@ -252,14 +264,16 @@ func seedFloors(dst []float64, extFloors []float64) {
 // queryTwoWave is the historical floor-seeded path: wave 1 answers the head
 // shard alone (at full parallelism inside the sub-solver), wave 2 fans the
 // tails out seeded with each user's k-th head score.
-func (s *Sharded) queryTwoWave(userIDs []int, k int, extFloors []float64, sc *queryScratch) error {
-	if err := s.queryShard(0, userIDs, k, extFloors, sc.partials); err != nil {
+func (s *Sharded) queryTwoWave(ctx context.Context, userIDs []int, k int, extFloors []float64, sc *queryScratch, partial bool) error {
+	if err := s.queryShard(ctx, 0, userIDs, k, extFloors, sc, partial); err != nil {
 		return err
 	}
 	// Harvest each user's k-th head score: the k-th best over the head items
 	// is a lower bound on the k-th best over all items. A head shard smaller
 	// than k (or itself floored below k entries) proves nothing for that
-	// user; the external floor, if any, still applies.
+	// user; the external floor, if any, still applies. A head skipped in
+	// partial mode left its slot nil — the tails then run from the external
+	// floors alone, which stays exact over the covered subset.
 	floors := sc.floors
 	seedFloors(floors, extFloors)
 	for i, row := range sc.partials[0] {
@@ -267,7 +281,7 @@ func (s *Sharded) queryTwoWave(userIDs []int, k int, extFloors []float64, sc *qu
 			floors[i] = row[k-1].Score
 		}
 	}
-	return s.fanOut(1, userIDs, k, floors, sc.partials)
+	return s.fanOut(ctx, 1, userIDs, k, floors, sc, partial)
 }
 
 // queryCascade runs S serial waves in shard order. A per-user running top-k
@@ -277,7 +291,7 @@ func (s *Sharded) queryTwoWave(userIDs []int, k int, extFloors []float64, sc *qu
 // norm-ceiling order, so the cascade descends into ever-flatter tails with
 // ever-tighter floors. Serial waves make the floors (and therefore the scan
 // counters) fully deterministic.
-func (s *Sharded) queryCascade(userIDs []int, k int, extFloors []float64, sc *queryScratch) error {
+func (s *Sharded) queryCascade(ctx context.Context, userIDs []int, k int, extFloors []float64, sc *queryScratch, partial bool) error {
 	floors := sc.floors
 	seedFloors(floors, extFloors)
 	// The running heaps are per-query allocations: heap capacity is k-bound
@@ -289,7 +303,12 @@ func (s *Sharded) queryCascade(userIDs []int, k int, extFloors []float64, sc *qu
 	}
 	last := len(s.shards) - 1
 	for si := range s.shards {
-		if err := s.queryShard(si, userIDs, k, floors, sc.partials); err != nil {
+		// The wave boundary is the cascade's natural cancellation unit; a
+		// skipped wave's nil slot reads as a Coverage gap in partial mode.
+		if err := mips.CtxErr(ctx); err != nil {
+			return err
+		}
+		if err := s.queryShard(ctx, si, userIDs, k, floors, sc, partial); err != nil {
 			return err
 		}
 		if si == last || s.shards[si].count == 0 {
@@ -316,15 +335,15 @@ func (s *Sharded) queryCascade(userIDs []int, k int, extFloors []float64, sc *qu
 // Every shard that returns k full rows raises the board with its per-user
 // k-th score for the shards still running. Exact at any interleaving;
 // scan counts are timing-dependent (see the package comment).
-func (s *Sharded) queryPipelined(userIDs []int, k int, extFloors []float64, sc *queryScratch) error {
+func (s *Sharded) queryPipelined(ctx context.Context, userIDs []int, k int, extFloors []float64, sc *queryScratch, partial bool) error {
 	board := sc.boardFor(len(userIDs))
 	if extFloors != nil {
 		board.Fill(extFloors)
 	}
-	err := parallel.ForErrThreads(s.cfg.Threads, len(s.shards), 1, func(lo, hi int) error {
+	err := parallel.ForErrCtx(ctx, s.cfg.Threads, len(s.shards), 1, func(lo, hi int) error {
 		var first error
 		for si := lo; si < hi; si++ {
-			if e := s.queryShardLive(si, userIDs, k, board, sc.partials); e != nil && first == nil {
+			if e := s.queryShardLive(ctx, si, userIDs, k, board, sc, partial); e != nil && first == nil {
 				first = e
 			}
 		}
@@ -333,13 +352,14 @@ func (s *Sharded) queryPipelined(userIDs []int, k int, extFloors []float64, sc *
 	if err != nil {
 		return err
 	}
-	// Feed the realized floors back into every live shard's observed-floor
-	// board (the serial schedules record per-shard inside queryShard; here
-	// the final board is what every shard would have seen given time).
+	// Feed the realized floors back into the observed-floor board of every
+	// shard that answered (the serial schedules record per-shard inside
+	// queryShard; here the final board is what every answering shard would
+	// have seen given time). Skipped shards were fed nothing.
 	if s.obs != nil {
 		fin := board.Snapshot(sc.floors[:0])
 		for si := range s.shards {
-			if s.shards[si].count == 0 || s.obs[si] == nil {
+			if s.shards[si].count == 0 || s.obs[si] == nil || sc.partials[si] == nil {
 				continue
 			}
 			recordObserved(s.obs[si], userIDs, fin)
@@ -350,28 +370,27 @@ func (s *Sharded) queryPipelined(userIDs []int, k int, extFloors []float64, sc *
 
 // queryShardLive is queryShard for the pipelined schedule: the floor source
 // is the shared board rather than a static slice, and the shard raises the
-// board on completion.
-func (s *Sharded) queryShardLive(si int, userIDs []int, k int, board *topk.FloorBoard, partials [][][]topk.Entry) error {
+// board on completion. Board raises happen only after a successful return,
+// so a faulted (or cancelled) shard can never publish floors — partial-mode
+// answers from the remaining shards stay exact over the covered subset.
+func (s *Sharded) queryShardLive(ctx context.Context, si int, userIDs []int, k int, board *topk.FloorBoard, sc *queryScratch, partial bool) error {
 	sh := &s.shards[si]
 	if sh.count == 0 {
 		return nil // partials[si] pre-pointed at the empty slab
+	}
+	if s.healthOf(si) != Healthy {
+		return s.settle(si, sh.plan, ErrShardQuarantined, partial)
 	}
 	kq := k
 	if kq > sh.count {
 		kq = sh.count
 	}
-	var res [][]topk.Entry
-	var err error
-	switch q := sh.solver.(type) {
-	case mips.LiveFloorQuerier:
-		res, err = q.QueryWithFloorBoard(userIDs, kq, board)
-	case mips.ThresholdQuerier:
-		res, err = q.QueryWithFloors(userIDs, kq, board.Snapshot(nil))
-	default:
-		res, err = sh.solver.Query(userIDs, kq)
+	res, err := s.shardQuery(ctx, sh, si, userIDs, kq, nil, board, sc)
+	if err == nil {
+		err = sc.perr[si]
 	}
 	if err != nil {
-		return fmt.Errorf("shard %d (%s): %w", si, sh.plan, err)
+		return s.settle(si, sh.plan, err, partial)
 	}
 	if sh.ids != nil || sh.base != 0 {
 		for _, row := range res {
@@ -389,7 +408,7 @@ func (s *Sharded) queryShardLive(si int, userIDs []int, k int, board *topk.Floor
 			board.Raise(qi, row[k-1].Score)
 		}
 	}
-	partials[si] = res
+	sc.partials[si] = res
 	return nil
 }
 

@@ -315,6 +315,55 @@ func NewShardPlanner(cfg OptimusConfig, planK int, candidates ...SolverFactory) 
 	return shard.NewOptimusPlanner(cfg, planK, candidates...)
 }
 
+// CancellableQuerier is the optional Solver refinement for deadline-aware
+// queries: QueryCtx observes ctx between (and, for the sharded composite,
+// inside) per-shard calls and returns ctx.Err() promptly once it fires.
+// Results on the nil-error path are identical to Query's. Every shipped
+// solver implements it.
+type CancellableQuerier = mips.CancellableQuerier
+
+// Coverage reports which shards answered a degraded-mode query: Answered of
+// Shards responded, Skipped lists the quarantined or failed shard indexes,
+// and ItemsCovered counts the catalog items actually searched. A Complete
+// coverage is indistinguishable from a strict exact answer.
+type Coverage = mips.Coverage
+
+// PartialQuerier is the optional Solver refinement for graceful degradation:
+// QueryPartial answers from the healthy shards and reports the gap as a
+// Coverage instead of failing the whole query. The Sharded composite
+// implements it; ServerConfig.AllowPartial exposes it through the server.
+type PartialQuerier = mips.PartialQuerier
+
+// ShardPanicError wraps a panic recovered inside one shard's query, build,
+// or mutation path, preserving the panic value and stack. It surfaces
+// wrapped in a ShardFaultError and transitions the shard to quarantine.
+type ShardPanicError = shard.PanicError
+
+// ShardFaultError attributes a strict-mode query failure to the shard that
+// caused it (errors.As-compatible; Unwrap exposes the cause).
+type ShardFaultError = shard.ShardError
+
+// ErrShardQuarantined is the strict-mode error for queries that touch a
+// shard currently quarantined or condemned; partial-mode queries report the
+// same condition as a Coverage gap instead.
+var ErrShardQuarantined = shard.ErrShardQuarantined
+
+// ShardHealthState is one shard's lifecycle state: healthy, quarantined
+// (failed, reviver working on it), or condemned (revival gave up; a full
+// Build restores it).
+type ShardHealthState = shard.HealthState
+
+// The shard health states.
+const (
+	ShardHealthy     = shard.Healthy
+	ShardQuarantined = shard.Quarantined
+	ShardCondemned   = shard.Condemned
+)
+
+// ShardHealth is one shard's health record: state, quarantine cause, and
+// completed-revival count.
+type ShardHealth = shard.ShardHealth
+
 // ServerConfig configures the micro-batching request server.
 type ServerConfig = serving.Config
 
