@@ -1,0 +1,352 @@
+package optimus
+
+// Acceptance tests for drift-driven adaptive re-structuring: the scripted
+// trending-catalog scenario (norm-inflated arrivals, low-norm retirements on
+// a kdd-style norm-skewed corpus) must decay a frozen structure's scan rate
+// by a wide margin while the tuner holds it at a fresh build's rate; forced
+// retunes must answer entry-for-entry like a from-scratch build over the
+// mutated corpus for every sub-solver family and shard count; and retunes
+// must commit safely under live query and mutation load (run with -race).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// driftRow returns a vector of the given Euclidean norm whose direction is a
+// shared dominant axis plus small noise. Clustered directions keep inner
+// products near the Cauchy–Schwarz ceiling, so norm tiers translate into
+// score tiers — the kdd-style geometry the by-norm cut (and the paper's
+// norm-skew observation) exploits.
+func driftRow(rng *rand.Rand, d int, norm float64) []float64 {
+	v := make([]float64, d)
+	v[0] = 1
+	var s float64 = 1
+	for j := 1; j < d; j++ {
+		v[j] = 0.15 * rng.NormFloat64()
+		s += v[j] * v[j]
+	}
+	scale := norm / math.Sqrt(s)
+	for j := range v {
+		v[j] *= scale
+	}
+	return v
+}
+
+// driftMatrix builds n rows with geometrically decaying norms from top — a
+// heavy-tailed norm profile over a shared direction cluster.
+func driftMatrix(t testing.TB, rng *rand.Rand, n, d int, top, decay float64) *Matrix {
+	t.Helper()
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = driftRow(rng, d, top*math.Pow(decay, float64(i)))
+	}
+	m, err := MatrixFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// bottomNormRows returns the ids of the n smallest-norm rows, ascending by
+// norm with index tie-break — the deterministic retirement half of the
+// trending-catalog churn.
+func bottomNormRows(m *Matrix, n int) []int {
+	norms := m.RowNorms()
+	ids := make([]int, 0, n)
+	used := make(map[int]bool, n)
+	for len(ids) < n && len(ids) < len(norms) {
+		best := -1
+		for i, v := range norms {
+			if used[i] {
+				continue
+			}
+			if best < 0 || v < norms[best] {
+				best = i
+			}
+		}
+		used[best] = true
+		ids = append(ids, best)
+	}
+	return ids
+}
+
+// maxNorm returns the largest row norm.
+func maxNorm(m *Matrix) float64 {
+	var mx float64
+	for _, v := range m.RowNorms() {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// trendChurn applies one deterministic trending-catalog round to s: retire
+// the batch lowest-norm items, add batch arrivals whose norms start above
+// the standing catalog's ceiling (so the fixed routing cutoffs funnel every
+// one of them into the head shard) and decay geometrically within the batch
+// (so a *fresh* cut of the mutated corpus is just as tiered as the build
+// corpus — the damage is purely structural).
+func trendChurn(s *Sharded, rng *rand.Rand, batch, d int) error {
+	if err := s.RemoveItems(bottomNormRows(s.Items(), batch)); err != nil {
+		return err
+	}
+	top := maxNorm(s.Items()) * 1.4
+	rows := make([][]float64, batch)
+	for j := range rows {
+		rows[j] = driftRow(rng, d, top*math.Pow(0.99, float64(j)))
+	}
+	add, err := MatrixFromRows(rows)
+	if err != nil {
+		return err
+	}
+	_, err = s.AddItems(add)
+	return err
+}
+
+// driftSharded builds the scenario composite: by-norm cut, BMM sub-solvers
+// (no intra-shard pruning, so the cut and the wave floors are the only
+// structure — a stale cut's cost lands fully on the scan meter), pinned
+// two-wave schedule for deterministic scan counts.
+func driftSharded(t *testing.T, users, items *Matrix, shards int) *Sharded {
+	t.Helper()
+	s := NewSharded(ShardedConfig{
+		Shards:      shards,
+		Partitioner: ShardByNorm(),
+		Factory:     func() Solver { return NewBMM(BMMConfig{}) },
+		Schedule:    ScheduleTwoWave,
+	})
+	if err := s.Build(users, items); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// scanPerUser measures one exact QueryAll(k) sweep's scan rate.
+func scanPerUser(t *testing.T, s *Sharded, users *Matrix, k int) float64 {
+	t.Helper()
+	before := s.ScanStats().Scanned
+	res, err := s.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAll(users, s.Items(), res, k, 1e-8); err != nil {
+		t.Fatalf("exactness: %v", err)
+	}
+	return float64(s.ScanStats().Scanned-before) / float64(users.Rows())
+}
+
+// TestAdaptiveDriftRecovery is the headline acceptance scenario: under
+// seeded trending-catalog churn the tuner must fire and hold the end-state
+// scan rate within 10% of a fresh build over the mutated corpus, while the
+// lesion arm (same tuner, Disabled) decays by at least 40% against that
+// same fresh baseline. Answers are verified exact at every step, and the
+// mutation generation must advance identically in both arms — retunes swap
+// structure, never corpus, so they tick the epoch and not the generation.
+func TestAdaptiveDriftRecovery(t *testing.T) {
+	const (
+		nItems = 240
+		nUsers = 60
+		d      = 16
+		sCount = 4
+		k      = 10
+		rounds = 4
+		batch  = 30
+	)
+	users := driftMatrix(t, rand.New(rand.NewSource(41)), nUsers, d, 1, 1)
+
+	run := func(lesion bool) (end, fresh float64, retunes int, gen uint64) {
+		rng := rand.New(rand.NewSource(97))
+		items := driftMatrix(t, rand.New(rand.NewSource(7)), nItems, d, 50, 0.98)
+		s := driftSharded(t, users, items, sCount)
+		tuner, err := NewAdaptiveTuner(s, AdaptiveConfig{Interval: -1, Disabled: lesion})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tuner.Close()
+		scanPerUser(t, s, users, k) // pre-churn sweep; also arms the baseline window
+		if _, _, err := tuner.Check(); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < rounds; round++ {
+			if err := trendChurn(s, rng, batch, d); err != nil {
+				t.Fatal(err)
+			}
+			scanPerUser(t, s, users, k)
+			if _, _, err := tuner.Check(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		end = scanPerUser(t, s, users, k)
+
+		ref := driftSharded(t, users, s.Items(), sCount)
+		fresh = scanPerUser(t, ref, users, k)
+		return end, fresh, s.Retunes(), s.Generation()
+	}
+
+	tunedEnd, fresh, retunes, tunedGen := run(false)
+	lesionEnd, lesionFresh, lesionRetunes, lesionGen := run(true)
+
+	if retunes < 1 {
+		t.Fatalf("tuner arm committed no retunes under %d churn rounds", rounds)
+	}
+	if lesionRetunes != 0 {
+		t.Fatalf("lesion arm committed %d retunes, want 0", lesionRetunes)
+	}
+	if tunedGen != lesionGen {
+		t.Fatalf("generation diverged: tuner %d, lesion %d — a retune must not tick the mutation generation", tunedGen, lesionGen)
+	}
+	if want := uint64(2 * rounds); tunedGen != want {
+		t.Fatalf("generation = %d, want %d (one tick per mutation, none per retune)", tunedGen, want)
+	}
+	if fresh <= 0 || lesionFresh <= 0 {
+		t.Fatalf("degenerate fresh baselines: %v, %v", fresh, lesionFresh)
+	}
+	if tunedEnd > 1.10*fresh {
+		t.Fatalf("tuned end scan/user %.1f exceeds fresh-build baseline %.1f by more than 10%%", tunedEnd, fresh)
+	}
+	if lesionEnd < 1.40*lesionFresh {
+		t.Fatalf("lesion end scan/user %.1f within 40%% of fresh baseline %.1f — scenario shows no structural decay to recover", lesionEnd, lesionFresh)
+	}
+	t.Logf("scan/user: tuned %.1f vs fresh %.1f (%+.0f%%), lesion %.1f vs fresh %.1f (%+.0f%%), %d retunes",
+		tunedEnd, fresh, 100*(tunedEnd-fresh)/fresh,
+		lesionEnd, lesionFresh, 100*(lesionEnd-lesionFresh)/lesionFresh, retunes)
+}
+
+// TestRetuneEquivalence forces a retune after one churn round for every
+// sub-solver family and shard count and checks the re-structured composite
+// against the mutable-corpus oracle: entry-for-entry identical to an unbuilt
+// peer built from scratch over the mutated corpus.
+func TestRetuneEquivalence(t *testing.T) {
+	const (
+		nItems = 160
+		nUsers = 40
+		d      = 12
+		k      = 8
+		batch  = 20
+	)
+	factories := map[string]SolverFactory{
+		"BMM":     func() Solver { return NewBMM(BMMConfig{}) },
+		"LEMP":    func() Solver { return NewLEMP(LEMPConfig{Seed: 3}) },
+		"MAXIMUS": func() Solver { return NewMaximus(MaximusConfig{Seed: 3}) },
+	}
+	users := driftMatrix(t, rand.New(rand.NewSource(11)), nUsers, d, 1, 1)
+	for name, factory := range factories {
+		for _, sCount := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/S=%d", name, sCount), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(13))
+				items := driftMatrix(t, rand.New(rand.NewSource(5)), nItems, d, 40, 0.97)
+				s := NewSharded(ShardedConfig{
+					Shards:      sCount,
+					Partitioner: ShardByNorm(),
+					Factory:     factory,
+				})
+				if err := s.Build(users, items); err != nil {
+					t.Fatal(err)
+				}
+				if err := trendChurn(s, rng, batch, d); err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Retune(RetuneRequest{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.NewShards < 1 {
+					t.Fatalf("retune reported %d shards", res.NewShards)
+				}
+				fresh := NewSharded(ShardedConfig{
+					Shards:      res.NewShards,
+					Partitioner: ShardByNorm(),
+					Factory:     factory,
+				})
+				if err := VerifyMutation(s, fresh, users, s.Items(), k, 1e-8); err != nil {
+					t.Fatalf("retuned composite diverges from fresh build: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveRetuneUnderLoad commits background retunes while queries and
+// logged mutations flow through a serving.Server — the drain-boundary swap
+// under real contention (meaningful under -race). The mutation generation
+// observed through Stats must stay monotone, and Close must stop the tuner
+// before the queue drains so no retune dispatches into teardown.
+func TestAdaptiveRetuneUnderLoad(t *testing.T) {
+	const (
+		nItems = 200
+		nUsers = 40
+		d      = 12
+		k      = 6
+		batch  = 20
+	)
+	rng := rand.New(rand.NewSource(29))
+	users := driftMatrix(t, rand.New(rand.NewSource(17)), nUsers, d, 1, 1)
+	items := driftMatrix(t, rand.New(rand.NewSource(19)), nItems, d, 50, 0.98)
+	sh := driftSharded(t, users, items, 4)
+	srv, err := NewServer(sh, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := srv.Adapt(AdaptiveConfig{
+		Interval: 2 * time.Millisecond,
+		Policy:   DriftPolicy{MinChurn: 1, MaxImbalance: 1.01, MinWindowUsers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tuner // owned by the server; Close stops it
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // query load
+		defer wg.Done()
+		for u := 0; !stop.Load(); u = (u + 1) % nUsers {
+			if _, err := srv.Query(context.Background(), u, k); err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // churn load through the mutation queue
+		defer wg.Done()
+		for round := 0; !stop.Load(); round++ {
+			err := srv.Mutate(func(m ItemMutator) error {
+				return trendChurn(m.(*Sharded), rng, batch, d)
+			})
+			if err != nil {
+				t.Errorf("mutate: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	deadline := time.Now().Add(250 * time.Millisecond)
+	var lastGen uint64
+	for time.Now().Before(deadline) {
+		st := srv.Stats()
+		if st.Generation < lastGen {
+			t.Fatalf("generation moved backwards: %d -> %d", lastGen, st.Generation)
+		}
+		lastGen = st.Generation
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	st := srv.Stats()
+	srv.Close()
+	if st.TunerChecks == 0 {
+		t.Fatal("background tuner never checked the drift policy")
+	}
+	t.Logf("under load: generation %d, tuner checks %d, triggers %d, retunes %d",
+		st.Generation, st.TunerChecks, st.TunerTriggers, st.Retunes)
+}

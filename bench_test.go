@@ -9,6 +9,7 @@ package optimus
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"optimus/internal/core"
@@ -486,6 +487,89 @@ func BenchmarkChurn(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAdaptiveRetune — one full drift-and-recover cycle per op on the
+// scripted trending-catalog scenario (adaptive_test.go): build the by-norm
+// BMM composite, churn it until the cut goes stale, let the manual-mode
+// tuner fire, and compare the recovered scan rate against a fresh build of
+// the mutated corpus. The reported metrics are deterministic (fixed seeds,
+// pinned two-wave schedule, scan counters rather than wall-clock), so the
+// CI bench artifact flags an adaptation regression as a metric flip:
+// retunes/op is the trigger firing at all (1.0 when healthy), and
+// scan-recovered-% is how much of the structural decay the retune bought
+// back (100 = recovered to the fresh-build rate; the assertions in
+// TestAdaptiveDriftRecovery hold it near 100).
+func BenchmarkAdaptiveRetune(b *testing.B) {
+	const (
+		nItems = 240
+		nUsers = 60
+		d      = 16
+		shards = 4
+		k      = 10
+		rounds = 3
+	)
+	batch := nItems / (2 * shards)
+	users := driftMatrix(b, rand.New(rand.NewSource(41)), nUsers, d, 1, 1)
+	items := driftMatrix(b, rand.New(rand.NewSource(7)), nItems, d, 50, 0.98)
+	newComposite := func() *Sharded {
+		return NewSharded(ShardedConfig{
+			Shards:      shards,
+			Partitioner: ShardByNorm(),
+			Factory:     func() Solver { return NewBMM(BMMConfig{}) },
+			Schedule:    ScheduleTwoWave,
+		})
+	}
+	scanU := func(s *Sharded) float64 {
+		before := s.ScanStats().Scanned
+		if _, err := s.QueryAll(k); err != nil {
+			b.Fatal(err)
+		}
+		return float64(s.ScanStats().Scanned-before) / nUsers
+	}
+	var retunes, recovered float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newComposite()
+		if err := s.Build(users, items); err != nil {
+			b.Fatal(err)
+		}
+		tuner, err := NewAdaptiveTuner(s, AdaptiveConfig{
+			Interval: -1, // manual mode: deterministic checks
+			Policy:   DriftPolicy{MinChurn: int64(batch)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanU(s)
+		if _, _, err := tuner.Check(); err != nil { // quiet: arms the baseline
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(97))
+		for r := 0; r < rounds; r++ {
+			if err := trendChurn(s, rng, batch, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		decayed := scanU(s)
+		if _, _, err := tuner.Check(); err != nil {
+			b.Fatal(err)
+		}
+		tuned := scanU(s)
+		fresh := newComposite()
+		if err := fresh.Build(users, s.Items()); err != nil {
+			b.Fatal(err)
+		}
+		freshU := scanU(fresh)
+		if decayed > freshU {
+			recovered += 100 * (decayed - tuned) / (decayed - freshU)
+		}
+		retunes += float64(s.Retunes())
+		tuner.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(retunes/float64(b.N), "retunes/op")
+	b.ReportMetric(recovered/float64(b.N), "scan-recovered-%")
 }
 
 // benchModelAt is benchModel at an explicit scale (the coldstart benchmark

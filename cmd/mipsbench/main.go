@@ -8,8 +8,8 @@
 //	mipsbench [flags] <experiment>
 //
 // where <experiment> is one of: table1 fig2 fig4 fig5 fig6 fig7 fig8 table2
-// sharding churn ablation-clustering ablation-params ablation-ttest
-// ablation-costmodel all
+// sharding waves churn coldstart drift ablation-clustering ablation-params
+// ablation-ttest ablation-costmodel all
 //
 // Examples:
 //
@@ -19,6 +19,8 @@
 //	mipsbench sharding              # item-shard count sweep + per-shard plans
 //	mipsbench churn                 # mutable corpus: dirty-shard vs full rebuild
 //	                                # + batched mutation-log events/flush sweep
+//	mipsbench drift                 # adaptive re-structuring under norm drift:
+//	                                # tuner vs lesion arms, recovery vs fresh build
 package main
 
 import (

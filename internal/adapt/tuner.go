@@ -1,0 +1,170 @@
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config configures a Tuner.
+type Config struct {
+	// Policy is the trigger rule set (zero value = documented defaults).
+	Policy Policy
+	// Interval is the background poll period. 0 selects the 250ms default;
+	// negative disables the background goroutine entirely — the owner
+	// drives the tuner synchronously through Check, the deterministic mode
+	// tests and benchmarks use.
+	Interval time.Duration
+	// Request is the RetuneRequest template a firing trigger dispatches
+	// (its Trigger field is overwritten with the one that fired). The zero
+	// value re-cuts at the current shard count with default sampling.
+	Request RetuneRequest
+	// Disabled is the lesion switch: the tuner keeps measuring and
+	// counting triggers but never dispatches a retune — the "what would
+	// adaptation have done" arm of the drift ablation.
+	Disabled bool
+}
+
+// DefaultInterval is the background poll period when Config leaves it zero.
+const DefaultInterval = 250 * time.Millisecond
+
+// Stats is a snapshot of tuner counters.
+type Stats struct {
+	// Checks counts policy evaluations (background ticks, kicks, and
+	// explicit Check calls); Triggers how many found a rule exceeded;
+	// Retunes how many dispatched re-structures committed; Failures how
+	// many dispatches errored.
+	Checks, Triggers, Retunes, Failures int64
+	// LastTrigger is the most recent firing trigger (zero Reason if none
+	// yet); LastResult the most recent committed retune's result; LastErr
+	// the most recent dispatch error (nil once a dispatch succeeds).
+	LastTrigger Trigger
+	LastResult  RetuneResult
+	LastErr     error
+}
+
+// Tuner supervises one Driver: it polls DriftStats against the Policy and
+// dispatches a Retune when a trigger fires. Create with NewTuner, stop with
+// Close. The background loop (Config.Interval >= 0) makes adaptation
+// autonomous; Check runs one evaluation synchronously, and Kick nudges the
+// background loop to evaluate now — the mutation-log tap calls it right
+// behind a flushed batch so a trigger tripped by that batch is seen
+// immediately instead of one poll period later.
+type Tuner struct {
+	d   Driver
+	cfg Config
+
+	mu    sync.Mutex // serializes Check bodies and guards stats
+	stats Stats
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTuner starts a tuner over the driver.
+func NewTuner(d Driver, cfg Config) (*Tuner, error) {
+	if d == nil {
+		return nil, fmt.Errorf("adapt: nil driver")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	t := &Tuner{
+		d:    d,
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.Interval > 0 {
+		go t.loop()
+	} else {
+		close(t.done)
+	}
+	return t, nil
+}
+
+// Check runs one evaluate-and-maybe-retune round synchronously: measure
+// drift, apply the policy, and — unless Config.Disabled — dispatch the
+// retune when a trigger fires. It reports the committed result (fired true
+// only when a retune actually committed) and the dispatch error if the
+// retune failed. Safe concurrently with the background loop; rounds are
+// serialized.
+func (t *Tuner) Check() (RetuneResult, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Checks++
+	d := t.d.DriftStats()
+	tr, fire := t.cfg.Policy.Evaluate(d)
+	if !fire {
+		return RetuneResult{}, false, nil
+	}
+	t.stats.Triggers++
+	t.stats.LastTrigger = tr
+	if t.cfg.Disabled {
+		return RetuneResult{}, false, nil
+	}
+	req := t.cfg.Request
+	req.Trigger = tr
+	res, err := t.d.Retune(req)
+	if err != nil {
+		t.stats.Failures++
+		t.stats.LastErr = err
+		return RetuneResult{}, false, err
+	}
+	t.stats.Retunes++
+	t.stats.LastResult = res
+	t.stats.LastErr = nil
+	return res, true, nil
+}
+
+// Kick asks the background loop to run a check now instead of waiting out
+// the poll interval. Non-blocking and coalescing; a no-op without a
+// background loop (Config.Interval < 0).
+func (t *Tuner) Kick() {
+	select {
+	case t.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stats returns a snapshot of the tuner's counters.
+func (t *Tuner) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Close stops the background loop and waits for any in-flight check to
+// finish. Idempotent.
+func (t *Tuner) Close() {
+	t.mu.Lock()
+	select {
+	case <-t.stop:
+		t.mu.Unlock()
+		return
+	default:
+		close(t.stop)
+	}
+	t.mu.Unlock()
+	<-t.done
+}
+
+func (t *Tuner) loop() {
+	defer close(t.done)
+	tick := time.NewTicker(t.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+		case <-t.kick:
+		}
+		// Dispatch errors are recorded in Stats (LastErr/Failures); the
+		// loop keeps polling — a stale-stage loss or a transient build
+		// failure is retried from fresh measurements next round.
+		_, _, _ = t.Check()
+	}
+}

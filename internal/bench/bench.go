@@ -71,7 +71,7 @@ func New(opt Options) *Runner {
 func Experiments() []string {
 	return []string{
 		"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
-		"sharding", "waves", "churn", "coldstart",
+		"sharding", "waves", "churn", "coldstart", "drift",
 		"ablation-clustering", "ablation-params", "ablation-ttest", "ablation-costmodel",
 		"ablation-conetree", "ablation-approx",
 	}
@@ -104,6 +104,8 @@ func (r *Runner) Run(id string) error {
 		return r.Churn()
 	case "coldstart":
 		return r.Coldstart()
+	case "drift":
+		return r.Drift()
 	case "ablation-clustering":
 		return r.AblationClustering()
 	case "ablation-params":

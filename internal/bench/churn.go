@@ -237,11 +237,15 @@ func (r *Runner) churnBatched(users, items, pool *mat.Matrix, batch int) error {
 // churnFactory builds the churn experiment's sub-solver factories (the two
 // pruning indexes whose incremental patches the lifecycle targets).
 func (r *Runner) churnFactory(sub string) mips.Factory {
-	if sub == "LEMP" {
+	switch sub {
+	case "LEMP":
 		return func() mips.Solver { return lemp.New(lemp.Config{Threads: r.opt.Threads, Seed: r.opt.Seed + 11}) }
-	}
-	return func() mips.Solver {
-		return core.NewMaximus(core.MaximusConfig{Threads: r.opt.Threads, Seed: r.opt.Seed + 7})
+	case "BMM":
+		return func() mips.Solver { return core.NewBMM(core.BMMConfig{Threads: r.opt.Threads}) }
+	default:
+		return func() mips.Solver {
+			return core.NewMaximus(core.MaximusConfig{Threads: r.opt.Threads, Seed: r.opt.Seed + 7})
+		}
 	}
 }
 

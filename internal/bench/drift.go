@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"optimus/internal/adapt"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/shard"
+)
+
+// Drift measures adaptive re-structuring under norm-shifting churn — the
+// decay scenario the adaptive tentpole targets. The workload is scripted
+// and deterministic trending-catalog drift: each round retires the
+// lowest-norm survivors and adds norm-inflated arrivals that outrank the
+// whole standing catalog, so every arrival routes to the head shard (the
+// fixed cutoffs put nothing above it) while the tail drains — the head
+// bloats toward the whole corpus, the cut's tiers stop describing the
+// data, and the two-wave schedule degenerates into scanning one giant
+// shard. Crucially the final corpus is just as norm-skewed as the build
+// corpus (arrivals are same-distribution draws, scaled), so a fresh cut
+// prunes it as well as ever: the decay is purely structural, and a retune
+// can buy all of it back.
+//
+// Two sub-solvers bracket how much of the damage is structural. Under BMM
+// the shard cut and the wave floors are the *only* pruning (BMM itself
+// scans everything it is handed), so a stale cut's cost lands fully on the
+// scan meter; LEMP re-sorts by norm inside every rebuilt shard and so
+// self-heals most intra-shard staleness, isolating the residual cut-level
+// decay. For each sub-solver two arms run the identical workload on
+// identical composites:
+//
+//   - tuner: an adapt.Tuner in deterministic manual mode (no background
+//     goroutine) checks the drift policy after every round and re-structures
+//     when a trigger fires.
+//   - lesion: the same tuner with Disabled set — it measures and counts
+//     triggers but never acts. This is the "what would adaptation have
+//     done" control; its end state shows the decay the tuner is buying back.
+//
+// Reported per arm: scan/user before churn, at the end of the churned
+// workload, and for a fresh identical composite built on the final corpus —
+// the recovery yardstick: "vs-fresh" is the end state's scan/user excess
+// over what a from-scratch build of the same data pays, the regression a
+// retune can actually buy back (the corpus itself got harder, so comparing
+// against pre-churn would charge the tuner for the data). Scan counts under
+// the pinned two-wave schedule are deterministic; users/s is wall-clock.
+// With -verify every round's answers are checked against the exactness
+// oracle — retunes never perturb a single entry.
+func (r *Runner) Drift() error {
+	const k = 10
+	const shards = 4
+	const rounds = 6
+	r.printf("== Drift: adaptive re-structuring under norm-shifting churn (by-norm, S=%d, K=%d, %d rounds) ==\n",
+		shards, k, rounds)
+	for _, name := range r.modelsOrDefault([]string{"kdd-nomad-50"}) {
+		m, err := r.generate(name)
+		if err != nil {
+			return err
+		}
+		pool, err := r.generateOffset(name, 1231)
+		if err != nil {
+			return err
+		}
+		batch := m.Items.Rows() / (2 * shards) // ~ half the head shard per round
+		if batch < 1 {
+			batch = 1
+		}
+		if rounds*batch > pool.Items.Rows() {
+			batch = pool.Items.Rows() / rounds
+		}
+		r.printf("%-20s %-6s %-7s %11s %11s %11s %9s %9s %8s  %s\n",
+			name, "sub", "arm", "scan/u-pre", "scan/u-end", "scan/u-fresh", "vs-fresh", "users/s", "retunes", "trigger")
+		for _, sub := range []string{"BMM", "LEMP"} {
+			for _, arm := range []string{"tuner", "lesion"} {
+				if err := r.driftArm(name, sub, arm, m.Users, m.Items, pool.Items, batch, rounds, shards, k); err != nil {
+					return err
+				}
+			}
+		}
+		r.printf("\n")
+	}
+	return nil
+}
+
+func (r *Runner) driftArm(model, sub, arm string, users, items, pool *mat.Matrix, batch, rounds, shards, k int) error {
+	sh := shard.New(shard.Config{
+		Shards:      shards,
+		Partitioner: shard.ByNorm(),
+		Threads:     r.opt.Threads,
+		Factory:     r.churnFactory(sub),
+		Schedule:    shard.TwoWave, // pinned: deterministic scan meters
+	})
+	if err := sh.Build(users, items); err != nil {
+		return fmt.Errorf("drift %s/%s/%s: %w", model, sub, arm, err)
+	}
+	tuner, err := adapt.NewTuner(sh, adapt.Config{
+		Interval: -1, // manual mode: Check after every round, deterministically
+		Disabled: arm == "lesion",
+		Policy:   adapt.Policy{MinChurn: int64(batch)},
+	})
+	if err != nil {
+		return err
+	}
+	defer tuner.Close()
+
+	nu := users.Rows()
+	queryRound := func() (scanPerUser, usersPerSec float64, err error) {
+		before := sh.ScanStats().Scanned
+		t0 := time.Now()
+		res, qerr := sh.QueryAll(k)
+		if qerr != nil {
+			return 0, 0, qerr
+		}
+		el := time.Since(t0)
+		if r.opt.Verify {
+			if verr := mips.VerifyAll(users, sh.Items(), res, k, 1e-8); verr != nil {
+				return 0, 0, fmt.Errorf("verification: %w", verr)
+			}
+		}
+		return float64(sh.ScanStats().Scanned-before) / float64(nu),
+			float64(nu) / el.Seconds(), nil
+	}
+
+	preScan, preRate, err := queryRound()
+	if err != nil {
+		return fmt.Errorf("drift %s/%s/%s pre: %w", model, sub, arm, err)
+	}
+	if _, _, err := tuner.Check(); err != nil { // locks the scan/user baseline
+		return fmt.Errorf("drift %s/%s/%s baseline check: %w", model, sub, arm, err)
+	}
+
+	var endScan, endRate float64
+	for round := 0; round < rounds; round++ {
+		// Retire the lowest-norm survivors, add norm-inflated arrivals: the
+		// tail drains, the head bloats, the cutoffs stop describing the data.
+		// The inflation factor grows with the round so each wave of arrivals
+		// outranks the last — a trend that keeps moving.
+		remove := bottomNormIDs(sh.Items(), batch)
+		if err := sh.RemoveItems(remove); err != nil {
+			return fmt.Errorf("drift %s/%s/%s round %d: %w", model, sub, arm, round, err)
+		}
+		add := pool.RowSlice(round*batch, (round+1)*batch).Clone()
+		scale := 2.0 + 0.5*float64(round)
+		for i := 0; i < add.Rows(); i++ {
+			row := add.Row(i)
+			for j := range row {
+				row[j] *= scale
+			}
+		}
+		if _, err := sh.AddItems(add); err != nil {
+			return fmt.Errorf("drift %s/%s/%s round %d: %w", model, sub, arm, round, err)
+		}
+		if endScan, endRate, err = queryRound(); err != nil {
+			return fmt.Errorf("drift %s/%s/%s round %d: %w", model, sub, arm, round, err)
+		}
+		if _, _, err := tuner.Check(); err != nil {
+			return fmt.Errorf("drift %s/%s/%s round %d retune: %w", model, sub, arm, round, err)
+		}
+	}
+	// One final measurement after the last check, so a retune fired on the
+	// last round's evidence is reflected in the end state.
+	if endScan, endRate, err = queryRound(); err != nil {
+		return fmt.Errorf("drift %s/%s/%s end: %w", model, sub, arm, err)
+	}
+
+	// The recovery yardstick: an identical composite built from scratch on
+	// the final corpus — the shape a retune is trying to converge back to.
+	fresh := shard.New(shard.Config{
+		Shards:      shards,
+		Partitioner: shard.ByNorm(),
+		Threads:     r.opt.Threads,
+		Factory:     r.churnFactory(sub),
+		Schedule:    shard.TwoWave,
+	})
+	if err := fresh.Build(users, sh.Items()); err != nil {
+		return fmt.Errorf("drift %s/%s/%s fresh baseline: %w", model, sub, arm, err)
+	}
+	if _, err := fresh.QueryAll(k); err != nil {
+		return fmt.Errorf("drift %s/%s/%s fresh baseline: %w", model, sub, arm, err)
+	}
+	freshScan := float64(fresh.ScanStats().Scanned) / float64(nu)
+
+	ts := tuner.Stats()
+	trigger := ts.LastTrigger.String()
+	vsFresh := "n/a"
+	if freshScan > 0 {
+		vsFresh = fmt.Sprintf("%+.0f%%", 100*(endScan-freshScan)/freshScan)
+	}
+	_ = preRate
+	r.printf("%-20s %-6s %-7s %11.1f %11.1f %11.1f %9s %9.0f %8d  %s\n",
+		"", sub, arm, preScan, endScan, freshScan, vsFresh, endRate, sh.Retunes(), trigger)
+	return nil
+}
+
+// bottomNormIDs returns the ids of the n smallest-norm rows — the scripted
+// "stale catalog retires" half of the drift workload. Deterministic
+// (selection by value with index tie-break).
+func bottomNormIDs(items *mat.Matrix, n int) []int {
+	norms := items.RowNorms()
+	ids := make([]int, 0, n)
+	used := make(map[int]bool, n)
+	for len(ids) < n && len(ids) < len(norms) {
+		best := -1
+		for i, v := range norms {
+			if used[i] {
+				continue
+			}
+			if best < 0 || v < norms[best] {
+				best = i
+			}
+		}
+		used[best] = true
+		ids = append(ids, best)
+	}
+	return ids
+}

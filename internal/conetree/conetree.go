@@ -75,10 +75,12 @@ type Index struct {
 	// (mips.ScanCounter); items in pruned subtrees are never scanned.
 	scanned atomic.Int64
 
-	// gen is the mips.ItemMutator mutation stamp; mutations counts churn
-	// since the last (re)build for the rebuild-on-imbalance rule (mutate.go).
-	gen       uint64
-	mutations int
+	// gen is the mips.ItemMutator mutation stamp; adds/removes count churn
+	// since the last (re)build — the rebuild-on-imbalance rule's input
+	// (mutate.go), reported through the shared adapt.DriftStats shape so the
+	// per-solver trigger and the composite's (internal/shard) speak one API.
+	gen           uint64
+	adds, removes int64
 
 	buildTime time.Duration
 }
@@ -156,7 +158,7 @@ func (x *Index) Build(users, items *mat.Matrix) error {
 	x.root = x.build(0, n)
 	x.scanned.Store(0)
 	x.gen = 0
-	x.mutations = 0
+	x.adds, x.removes = 0, 0
 	x.buildTime = time.Since(start)
 	return nil
 }

@@ -3,6 +3,7 @@ package conetree
 import (
 	"fmt"
 
+	"optimus/internal/adapt"
 	"optimus/internal/mat"
 	"optimus/internal/mips"
 )
@@ -132,7 +133,7 @@ func (x *Index) AddItems(newItems *mat.Matrix) ([]int, error) {
 			x.resplit(leaf)
 		}
 	}
-	x.mutations += m
+	x.adds += int64(m)
 	x.maybeRebuild()
 	x.gen++
 	return mips.IDRange(base, m), nil
@@ -174,7 +175,7 @@ func (x *Index) RemoveItems(ids []int) error {
 	x.reordered = x.reordered.RowSlice(0, w)
 	x.dirs = x.dirs.RowSlice(0, w)
 	shiftRemove(x.root, removedBelow)
-	x.mutations += len(sorted)
+	x.removes += int64(len(sorted))
 	x.maybeRebuild()
 	x.gen++
 	return nil
@@ -185,7 +186,7 @@ func (x *Index) Generation() uint64 { return x.gen }
 
 // Mutations returns the churn accumulated since the last (re)build — the
 // rebuild-on-imbalance trigger input, exposed for tests and diagnostics.
-func (x *Index) Mutations() int { return x.mutations }
+func (x *Index) Mutations() int { return int(x.adds + x.removes) }
 
 // shiftRemove shrinks node ranges after a compaction; removedBelow is the
 // prefix count over old positions. Ranges may become empty — the search
@@ -207,12 +208,71 @@ func (x *Index) resplit(leaf *node) {
 	*leaf = *fresh
 }
 
-// maybeRebuild applies the rebuild-on-imbalance rule.
+// rebuildPolicy is the rebuild-on-imbalance rule expressed as a
+// single-trigger adapt.Policy: the tree's historical churn-fraction rule
+// (churn > rebuildChurnFraction · corpus) with every other trigger disabled.
+// MinChurn 1 keeps the historical semantics exactly — the old rule had no
+// minimum-volume gate.
+var rebuildPolicy = adapt.Policy{
+	MaxImbalance:      -1,
+	MaxArrivalSkew:    -1,
+	MaxScanRegression: -1,
+	MaxChurnFraction:  rebuildChurnFraction,
+	MinChurn:          1,
+	MinWindowUsers:    -1,
+}
+
+// maybeRebuild applies the rebuild-on-imbalance rule through the shared
+// drift-policy surface.
 func (x *Index) maybeRebuild() {
-	if float64(x.mutations) > rebuildChurnFraction*float64(len(x.ids)) {
+	if _, fire := rebuildPolicy.Evaluate(x.DriftStats()); fire {
 		x.root = x.build(0, len(x.ids))
-		x.mutations = 0
+		x.adds, x.removes = 0, 0
 	}
+}
+
+// DriftStats implements adapt.Reporter: churn since the last (re)build plus
+// the live leaf-size distribution, so the tree's private trigger and any
+// external adapt.Tuner read the same measurement. Not safe concurrently
+// with mutations (the ItemMutator contract already serializes those).
+func (x *Index) DriftStats() adapt.DriftStats {
+	d := adapt.DriftStats{
+		Generation: x.gen,
+		Items:      len(x.ids),
+		Adds:       x.adds,
+		Removes:    x.removes,
+	}
+	var leaves []int
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.left == nil && n.right == nil {
+			if n.hi > n.lo {
+				leaves = append(leaves, n.hi-n.lo)
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(x.root)
+	if len(leaves) == 0 {
+		return d
+	}
+	d.Partitions = leaves
+	sum, max := 0, 0
+	for _, c := range leaves {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if len(leaves) >= 2 {
+		d.Imbalance = float64(max) * float64(len(leaves)) / float64(sum)
+	}
+	return d
 }
 
 // AddUsers implements mips.UserAdder: new user rows join the query matrix;

@@ -31,7 +31,10 @@ func (x *Index) Save(w io.Writer) error {
 	}
 	pw.Section("conetree", func(e *persist.Encoder) {
 		e.U64(x.gen)
-		e.Int(x.mutations)
+		// Adds and removes persist as their sum — the wire format predates
+		// the split and the trigger only ever reads the total, so snapshots
+		// stay byte-identical; a loaded index reports the total as adds.
+		e.Int(int(x.adds + x.removes))
 		e.Int(x.cfg.LeafSize)
 		e.Matrix(x.users)
 		e.Matrix(x.reordered)
@@ -196,7 +199,7 @@ func (x *Index) Load(r io.Reader) error {
 	x.root = root
 	x.cfg.LeafSize = leafSize
 	x.gen = gen
-	x.mutations = mutations
+	x.adds, x.removes = int64(mutations), 0
 	x.scanned.Store(0)
 	x.buildTime = 0
 	return nil

@@ -1,0 +1,32 @@
+package core
+
+// SampleUserIDs returns a deterministic stride sample of user ids out of
+// [0, n): roughly frac·n ids, at least min (clamped to n), spread evenly
+// across the id space so a sorted-by-anything corpus contributes from every
+// region. The budgeted re-measure paths (shard-count auto-tuning, drift
+// experiments) use it to time candidates on a small, reproducible workload
+// instead of the full user matrix — the same sample-and-measure idea the
+// OPTIMUS planner applies to solver strategies, without the planner's
+// dependency footprint.
+func SampleUserIDs(n int, frac float64, min int) []int {
+	if n <= 0 {
+		return nil
+	}
+	want := int(frac * float64(n))
+	if want < min {
+		want = min
+	}
+	if want > n {
+		want = n
+	}
+	if want <= 0 {
+		want = 1
+	}
+	ids := make([]int, 0, want)
+	// Fixed-point stride walk: id i_j = floor(j*n/want) visits `want`
+	// distinct ids in increasing order for any want <= n.
+	for j := 0; j < want; j++ {
+		ids = append(ids, j*n/want)
+	}
+	return ids
+}

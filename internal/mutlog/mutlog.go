@@ -203,6 +203,9 @@ type Log struct {
 	liveHandles []int
 	deadline    time.Time // staleness deadline of the current batch
 	stats       Stats
+	// observer, when set, is called after every successfully applied batch
+	// with the applied add/remove volumes (see SetObserver).
+	observer func(adds, removes int)
 
 	kick chan struct{}
 	stop chan struct{}
@@ -451,6 +454,21 @@ func (l *Log) Stats() Stats {
 	return st
 }
 
+// SetObserver installs (or, with nil, removes) the flush tap: fn is called
+// after every successfully applied batch with the add/remove volumes that
+// batch committed to the live index. The adaptive tuner (internal/adapt via
+// serving.Server) hangs off this tap so a drift check runs right behind the
+// churn that might have tripped it, instead of one poll period later.
+//
+// fn is invoked with the log's lock held — it must be fast and must not
+// call back into the log (the tuner's Kick, a non-blocking channel send,
+// is the intended shape).
+func (l *Log) SetObserver(fn func(adds, removes int)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observer = fn
+}
+
 // Flush applies the pending batch now: at most one AddItems plus one
 // RemoveItems under a single Applier.Mutate — one drain, one generation
 // tick. An empty net batch returns nil without touching the applier. On
@@ -630,6 +648,9 @@ func (l *Log) flushLocked() error {
 		l.stats.FlushedRemoves += int64(r)
 	}
 	l.stats.Flushes++
+	if l.observer != nil {
+		l.observer(m, r)
+	}
 	l.clearBatchLocked()
 	// The apply succeeded: advance the applied-seq watermark past every
 	// event this flush consumed, then record the marker. The watermark

@@ -1,0 +1,141 @@
+// Adaptive re-structuring at the serving boundary (ISSUE 9). The server
+// owns the two clocks a retune must respect — the batch dispatcher's
+// solver lock (the drain boundary mutations commit at) and the mutation
+// log's flush cadence — so it is the layer that hosts the adapt.Tuner:
+// Adapt attaches one the way Log attaches a mutation log, Retune lands the
+// swap at the exact boundary Mutate uses, and Stats mirrors the drift
+// counters next to the serving counters operators already watch.
+package serving
+
+import (
+	"errors"
+	"fmt"
+
+	"optimus/internal/adapt"
+)
+
+// retuner is the structural interface an adaptively re-structurable solver
+// (the sharded executor) satisfies; serving stays decoupled from the shard
+// package by naming only the methods, as with waveScheduler.
+type retuner interface {
+	DriftStats() adapt.DriftStats
+	StageRetune(adapt.RetuneRequest) (adapt.StagedRetune, error)
+	CommitRetune(adapt.StagedRetune) error
+}
+
+// retuneAttempts bounds Retune's stage/commit retries against sustained
+// churn (each retry re-stages against the moved corpus).
+const retuneAttempts = 4
+
+// ErrNotAdaptive is returned by Retune/Adapt/DriftStats when the underlying
+// solver cannot measure and re-structure itself.
+var ErrNotAdaptive = errors.New("serving: solver does not support adaptive re-structuring")
+
+// DriftStats reports the solver's drift measurement (adapt.Reporter),
+// failing with ErrNotAdaptive when the solver does not measure drift.
+func (s *Server) DriftStats() (adapt.DriftStats, error) {
+	rt, ok := s.solver.(retuner)
+	if !ok {
+		return adapt.DriftStats{}, fmt.Errorf("%w (%s)", ErrNotAdaptive, s.solver.Name())
+	}
+	return rt.DriftStats(), nil
+}
+
+// Retune re-structures the underlying solver at the server's drain
+// boundary: the replacement shard set is STAGED outside the solver lock —
+// concurrent with in-flight batches — and COMMITTED under the write lock,
+// exactly where Mutate swaps catalog generations: the in-flight batch
+// finishes against the old structure, the swap lands exclusively, the next
+// batch serves the new one. No query ever observes a half-swapped
+// composite, and because a retune re-arranges the same corpus (no item
+// appears or disappears, positional ids are untouched), Stats.Generation
+// deliberately does not tick — cached client id translations stay valid.
+//
+// A mutation (direct or via a log flush) landing mid-stage makes the
+// staged set stale; Retune re-stages against the moved corpus, up to
+// retuneAttempts times before giving up with the underlying
+// adapt.ErrRetuneStale.
+func (s *Server) Retune(req adapt.RetuneRequest) (adapt.RetuneResult, error) {
+	rt, ok := s.solver.(retuner)
+	if !ok {
+		return adapt.RetuneResult{}, fmt.Errorf("%w (%s)", ErrNotAdaptive, s.solver.Name())
+	}
+	var lastErr error
+	for attempt := 1; attempt <= retuneAttempts; attempt++ {
+		staged, err := rt.StageRetune(req)
+		if err != nil {
+			return adapt.RetuneResult{}, err
+		}
+		s.solverMu.Lock()
+		err = rt.CommitRetune(staged)
+		s.solverMu.Unlock()
+		if err == nil {
+			res := staged.Result()
+			res.Attempts = attempt
+			s.mu.Lock()
+			s.retunes++
+			s.mu.Unlock()
+			return res, nil
+		}
+		if !errors.Is(err, adapt.ErrRetuneStale) {
+			return adapt.RetuneResult{}, err
+		}
+		lastErr = err
+	}
+	return adapt.RetuneResult{}, fmt.Errorf(
+		"serving: retune lost the stage/commit race %d times: %w", retuneAttempts, lastErr)
+}
+
+// serverDriver adapts the server to adapt.Driver for the tuner: drift is
+// measured straight off the solver, retunes go through Server.Retune so
+// every commit lands at the drain boundary.
+type serverDriver struct{ s *Server }
+
+func (d serverDriver) DriftStats() adapt.DriftStats {
+	st, _ := d.s.DriftStats() // capability checked when the tuner attached
+	return st
+}
+
+func (d serverDriver) Retune(req adapt.RetuneRequest) (adapt.RetuneResult, error) {
+	return d.s.Retune(req)
+}
+
+// Adapt attaches a background adaptive tuner to the server, the way Log
+// attaches a mutation log: the tuner polls the solver's DriftStats against
+// cfg.Policy (Config.Interval; negative for a manual tuner driven by
+// Check) and dispatches Server.Retune when a trigger fires. When a
+// mutation log is attached — before or after Adapt — its flush tap kicks
+// the tuner, so a drift check runs right behind every applied batch
+// instead of one poll period later. At most one tuner may be attached per
+// server; Close stops it. Stats mirrors its counters.
+func (s *Server) Adapt(cfg adapt.Config) (*adapt.Tuner, error) {
+	if _, ok := s.solver.(retuner); !ok {
+		return nil, fmt.Errorf("%w (%s)", ErrNotAdaptive, s.solver.Name())
+	}
+	tuner, err := adapt.NewTuner(serverDriver{s}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Attach under the same lock Close uses (see Log): a tuner can never
+	// slip in after Close, or its background loop would outlive the server.
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		tuner.Close()
+		return nil, ErrClosed
+	case s.tuner != nil:
+		s.mu.Unlock()
+		tuner.Close()
+		return nil, errors.New("serving: server already has an adaptive tuner")
+	}
+	s.tuner = tuner
+	log := s.log
+	s.mu.Unlock()
+	if log != nil {
+		// Kick is a non-blocking coalescing send, satisfying the observer's
+		// must-not-call-back contract.
+		log.SetObserver(func(int, int) { tuner.Kick() })
+	}
+	return tuner, nil
+}

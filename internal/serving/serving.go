@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"optimus/internal/adapt"
 	"optimus/internal/mips"
 	"optimus/internal/mutlog"
 	"optimus/internal/topk"
@@ -106,6 +107,15 @@ type Stats struct {
 	// cascade/pipelined, a single total for single-wave.
 	Schedule  string
 	WaveScans []mips.ScanStats
+	// Retunes counts adaptive re-structures committed through this server
+	// (Server.Retune — manual or tuner-dispatched); TunerChecks and
+	// TunerTriggers mirror the attached tuner's counters (zero when no
+	// tuner is attached): drift-policy evaluations run, and how many found
+	// a trigger exceeded. Triggers > Retunes means firings that did not
+	// commit — the tuner is disabled (the lesion switch) or retunes failed.
+	Retunes       int64
+	TunerChecks   int64
+	TunerTriggers int64
 }
 
 // waveScheduler is the structural interface a wave-scheduling solver (the
@@ -160,7 +170,9 @@ type Server struct {
 	requests   int64
 	batches    int64
 	generation uint64
+	retunes    int64
 	log        *mutlog.Log
+	tuner      *adapt.Tuner
 	closed     bool
 	// snapshotSeq is the journal watermark embedded in the snapshot this
 	// server was restored from (zero for servers built fresh); Replay skips
@@ -274,12 +286,22 @@ func (s *Server) submit(ctx context.Context, userID, k int) (response, error) {
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	st := Stats{Requests: s.requests, Batches: s.batches, Generation: s.generation}
+	st := Stats{Requests: s.requests, Batches: s.batches, Generation: s.generation,
+		Retunes: s.retunes}
 	if s.batches > 0 {
 		st.MeanBatchSize = float64(s.requests) / float64(s.batches)
 	}
 	log := s.log
+	tuner := s.tuner
 	s.mu.Unlock()
+	// Like the log snapshot below, the tuner snapshot is taken outside s.mu:
+	// a tuner check dispatching a retune ticks s.retunes under s.mu while
+	// holding the tuner's own lock.
+	if tuner != nil {
+		ts := tuner.Stats()
+		st.TunerChecks = ts.Checks
+		st.TunerTriggers = ts.Triggers
+	}
 	// The log snapshot is taken outside s.mu: a flush holds the log's lock
 	// while ticking the generation under s.mu, so nesting the locks the
 	// other way here would deadlock.
@@ -404,7 +426,12 @@ func (s *Server) Log(cfg mutlog.Config) (*mutlog.Log, error) {
 		return nil, errors.New("serving: server already has a mutation log")
 	}
 	s.log = log
+	tuner := s.tuner
 	s.mu.Unlock()
+	if tuner != nil {
+		// A tuner attached first: wire the flush tap now (see Adapt).
+		log.SetObserver(func(int, int) { tuner.Kick() })
+	}
 	return log, nil
 }
 
@@ -419,7 +446,14 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	log := s.log
+	tuner := s.tuner
 	s.mu.Unlock()
+	if tuner != nil {
+		// Stop the tuner first so the log's final flush cannot dispatch one
+		// last retune into a server that is tearing down. (The flush tap may
+		// still Kick the stopped tuner — a no-op on its buffered channel.)
+		tuner.Close()
+	}
 	// In-flight queries still hold the dispatcher; it must not exit before
 	// they are answered (or abandoned via their contexts).
 	s.inflight.Wait()

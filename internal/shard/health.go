@@ -329,7 +329,7 @@ func (s *Sharded) reviveShard(si int) bool {
 		} else {
 			sub = subMatrix(s.items, sh.ids)
 		}
-		if err := s.buildShard(&repl, si, s.users, sub); err != nil {
+		if err := s.buildShard(&repl, si, s.users, sub, nil); err != nil {
 			s.stateMu.RUnlock()
 			return false
 		}
@@ -343,6 +343,7 @@ func (s *Sharded) reviveShard(si int) bool {
 		// membership. Discard and retry against the new corpus.
 		return false
 	}
+	s.retireScans(s.shards[si].solver)
 	s.shards[si] = repl
 	s.healOne(si, true)
 	if !restored {

@@ -74,6 +74,9 @@ type stagedShard struct {
 	patchLocal []int
 	rebuild    bool
 	dead       bool
+	// nRemoved is the shard's removal volume, folded into the drift
+	// counters (retune.go) when the commit lands.
+	nRemoved int
 }
 
 // AddItems implements mips.ItemMutator: append to the global corpus, route
@@ -142,7 +145,7 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 		// baseline rate; an emptied-then-revived shard also lands here.
 		tmp := *sh
 		tmp.ids, tmp.count = newIDs, len(newIDs)
-		if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs)); err != nil {
+		if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs), nil); err != nil {
 			return nil, err
 		}
 		stages = append(stages, stagedShard{si: si, st: tmp, rebuild: true})
@@ -152,6 +155,7 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 	for _, g := range stages {
 		sh := &s.shards[g.si]
 		if g.rebuild {
+			s.retireScans(sh.solver)
 			*sh = g.st
 			s.healOne(g.si, false)
 			s.mstats.Rebuilds++
@@ -189,6 +193,16 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 	s.gen++
 	s.epoch++
 	s.mstats.Mutations++
+	// Drift accounting (retune.go): per-shard arrival volume, and the
+	// routing histogram the arrival-skew trigger reads — each arrival was
+	// routed through the *build-time* norm cutoffs just above, so a skewed
+	// histogram is direct evidence the cutoffs no longer cut the data.
+	for si, rows := range perShard {
+		if len(rows) > 0 && si < len(s.driftAdds) {
+			s.driftAdds[si] += int64(len(rows))
+			s.arrivalRoutes[si] += int64(len(rows))
+		}
+	}
 	s.refreshComposite()
 	return mips.IDRange(base, m), nil
 }
@@ -203,12 +217,13 @@ func (s *Sharded) repairShard(si int, newIDs []int, items *mat.Matrix, cause err
 	sh := &s.shards[si]
 	tmp := *sh
 	tmp.ids, tmp.count = newIDs, len(newIDs)
-	if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs)); err != nil {
+	if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs), nil); err != nil {
 		sh.ids, sh.count = newIDs, len(newIDs)
 		s.dropSnap(si)
 		s.quarantine(si, cause)
 		return err
 	}
+	s.retireScans(sh.solver)
 	*sh = tmp
 	s.healOne(si, false)
 	s.captureSnap(si)
@@ -255,7 +270,7 @@ func (s *Sharded) RemoveItems(ids []int) error {
 			}
 			newIDs = append(newIDs, id-next) // next == |removed ids < id|
 		}
-		g := stagedShard{si: si, newIDs: newIDs, patchLocal: local}
+		g := stagedShard{si: si, newIDs: newIDs, patchLocal: local, nRemoved: len(local)}
 		switch {
 		case len(local) == 0:
 			// Clean shard: arithmetic renumber only, index untouched.
@@ -270,7 +285,7 @@ func (s *Sharded) RemoveItems(ids []int) error {
 				s.cfg.Planner != nil || s.healthOf(si) != Healthy {
 				tmp := *sh
 				tmp.ids, tmp.count = newIDs, len(newIDs)
-				if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs)); err != nil {
+				if err := s.buildShard(&tmp, si, s.users, subMatrix(items, newIDs), nil); err != nil {
 					return err
 				}
 				g.st, g.rebuild, g.patchLocal = tmp, true, nil
@@ -282,13 +297,18 @@ func (s *Sharded) RemoveItems(ids []int) error {
 	// Commit.
 	for _, g := range stages {
 		sh := &s.shards[g.si]
+		if g.nRemoved > 0 && g.si < len(s.driftRemoves) {
+			s.driftRemoves[g.si] += int64(g.nRemoved)
+		}
 		switch {
 		case g.dead:
+			s.retireScans(sh.solver)
 			sh.solver, sh.ids, sh.count = nil, nil, 0
 			s.healOne(g.si, false) // nothing left to revive
 			s.dropSnap(g.si)
 			s.mstats.Emptied++
 		case g.rebuild:
+			s.retireScans(sh.solver)
 			*sh = g.st
 			s.healOne(g.si, false)
 			s.mstats.Rebuilds++
@@ -368,9 +388,10 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 			sub = subMatrix(s.items, sh.ids)
 		}
 		tmp := *sh
-		if err := s.buildShard(&tmp, si, s.users, sub); err != nil {
+		if err := s.buildShard(&tmp, si, s.users, sub, nil); err != nil {
 			return nil, err
 		}
+		s.retireScans(sh.solver)
 		*sh = tmp
 		s.healOne(si, false)
 		s.mstats.Rebuilds++
@@ -413,6 +434,7 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 		}
 	}
 	s.users = mat.AppendRows(s.users, newUsers)
+	s.userNorms = append(s.userNorms, newUsers.RowNorms()...)
 	s.epoch++
 	// Every sub-solver embeds its user matrix, so every retained snapshot
 	// predates the broadcast; drop them all (revival falls back to rebuild).
@@ -442,9 +464,11 @@ func (s *Sharded) rollbackUserBroadcast(upto int) error {
 		} else {
 			sub = subMatrix(s.items, sh.ids)
 		}
-		if err := s.buildShard(sh, si, s.users, sub); err != nil {
+		old := sh.solver
+		if err := s.buildShard(sh, si, s.users, sub, nil); err != nil {
 			return err
 		}
+		s.retireScans(old)
 	}
 	// A Planner rollback may have changed sub-solver types, so the cached
 	// composite capabilities (Batches, two-wave) are re-derived.

@@ -94,6 +94,19 @@ func (s *Sharded) Save(w io.Writer) error {
 			e.String(s.cfg.Schedule.String())
 		})
 	}
+	// The locked scan/user baseline rides the same way (optional, trailing,
+	// after "schedule" when both are present): written only once it has
+	// locked, so a restored server can detect scan-rate regression without
+	// serving a fresh baseline window first, while freshly built snapshots —
+	// the pinned goldens included — stay byte-identical.
+	s.driftMu.Lock()
+	baseline := s.scanBaseline
+	s.driftMu.Unlock()
+	if baseline > 0 {
+		pw.Section("drift", func(e *persist.Encoder) {
+			e.F64(baseline)
+		})
+	}
 	return pw.Close()
 }
 
@@ -225,6 +238,19 @@ func (s *Sharded) Load(r io.Reader) error {
 			return err
 		}
 	}
+	// Optional trailing drift-baseline section (see Save); absent sections
+	// leave the baseline unlocked and it re-locks over the first served
+	// window.
+	var driftBaseline float64
+	if d, ok := pr.SectionIf("drift"); ok {
+		driftBaseline = d.F64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if driftBaseline < 0 {
+			return fmt.Errorf("shard: manifest drift baseline %g negative", driftBaseline)
+		}
+	}
 	if err := pr.Close(); err != nil {
 		return err
 	}
@@ -242,6 +268,7 @@ func (s *Sharded) Load(r io.Reader) error {
 	defer s.stateMu.Unlock()
 	s.epoch++
 	s.users, s.items, s.shards = users, items, shards
+	s.userNorms = users.RowNorms()
 	s.resetHealth(nShards)
 	s.snaps = snaps
 	s.name = name
@@ -257,6 +284,21 @@ func (s *Sharded) Load(r io.Reader) error {
 				ts.SetThreads(s.cfg.Threads)
 			}
 		}
+	}
+	// Restore the drift surface: fresh counters against the loaded shard
+	// set, the persisted baseline (if any) pre-locked so regression
+	// detection works without a fresh serving window, and the norm skew the
+	// auto schedule reads recomputed from the restored cut.
+	s.retunes = 0
+	s.resetDriftLocked()
+	if driftBaseline > 0 {
+		s.driftMu.Lock()
+		s.scanBaseline = driftBaseline
+		s.driftMu.Unlock()
+	}
+	s.normSkew = 0
+	if s.headFirst && len(parts) > 1 {
+		s.normSkew = computeNormSkew(items.RowNorms(), parts)
 	}
 	s.refreshComposite()
 	return nil

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"sync"
 
 	"optimus/internal/core"
 	"optimus/internal/mat"
@@ -23,10 +24,13 @@ import (
 // reused by the rest — later shards synthesize BMM's estimate from the
 // stored per-(user·item) rate instead of re-querying, roughly halving plan
 // time. SetThreads flushes the cache, since the rate is only valid at the
-// parallelism it was measured at. Plan is not safe for concurrent use;
-// Sharded.Build plans serially precisely so timing measurements (and this
-// cache) never contend.
+// parallelism it was measured at. Plan calls are serialized internally:
+// Sharded.Build plans shards one at a time so timing measurements never
+// contend, but background re-plans (quarantine revival, retune staging) can
+// race each other, and the mutex makes the shared cache safe under that —
+// the measurements themselves still never overlap.
 type OptimusPlanner struct {
+	mu         sync.Mutex
 	cfg        core.OptimusConfig
 	planK      int
 	candidates []mips.Factory
@@ -60,6 +64,8 @@ func (p *OptimusPlanner) Name() string { return "OPTIMUS" }
 // amortization cache is flushed: a baseline rate measured at the old
 // parallelism would poison every subsequent decision.
 func (p *OptimusPlanner) SetThreads(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.cfg.Threads = parallel.Resolve(n)
 	p.shared = core.SharedMeasurement{}
 }
@@ -69,6 +75,8 @@ func (p *OptimusPlanner) SetThreads(n int) {
 // discarded (they cover only the plan depth), but index construction is
 // retained — the winner is ready to query.
 func (p *OptimusPlanner) Plan(users, items *mat.Matrix) (mips.Solver, string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	indexes := make([]mips.Solver, 0, len(p.candidates))
 	for i, factory := range p.candidates {
 		solver := factory()

@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"optimus/internal/adapt"
+	"optimus/internal/lemp"
+	"optimus/internal/mat"
+	"optimus/internal/mips"
+	"optimus/internal/persist"
+)
+
+func retuneComposite(t *testing.T, shards int) (*Sharded, *retuneCorpus) {
+	t.Helper()
+	m := model(t, "netflix-nomad-25", 0.04)
+	s := New(Config{
+		Shards:      shards,
+		Partitioner: ByNorm(),
+		Factory:     func() mips.Solver { return lemp.New(lemp.Config{Seed: 3}) },
+	})
+	if err := s.Build(m.Users, m.Items); err != nil {
+		t.Fatal(err)
+	}
+	return s, &retuneCorpus{m.Users, m.Items}
+}
+
+// retuneCorpus pairs the matrices the retune tests verify against.
+type retuneCorpus struct{ users, items *mat.Matrix }
+
+// TestRetuneForcedCount pins the forced-count path: Shards in the request
+// wins outright, the committed composite really has that many partitions,
+// and the answers stay entry-for-entry exact across the re-structure.
+func TestRetuneForcedCount(t *testing.T) {
+	s, d := retuneComposite(t, 4)
+	const k = 6
+	want, err := s.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Retune(adapt.RetuneRequest{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OldShards != 4 || res.NewShards != 2 || s.NumShards() != 2 {
+		t.Fatalf("forced retune: %d -> %d (live %d), want 4 -> 2", res.OldShards, res.NewShards, s.NumShards())
+	}
+	if res.Samples != nil {
+		t.Fatalf("forced count must skip the sweep, got %d samples", len(res.Samples))
+	}
+	got, err := s.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		assertSameEntries(t, u, want[u], got[u])
+	}
+	if err := mips.VerifyAll(d.users, d.items, got, k, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetuneCandidateSweep pins the OPTIMUS-style S sweep: every candidate
+// is sampled, exactly one is chosen, the chosen count is the committed one,
+// and the incumbent is always among the samples (the hysteresis reference).
+func TestRetuneCandidateSweep(t *testing.T) {
+	s, d := retuneComposite(t, 4)
+	res, err := s.Retune(adapt.RetuneRequest{ShardCandidates: []int{2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 3 { // 2, 8, and the incumbent 4
+		t.Fatalf("sweep sampled %d candidates, want 3 (incumbent included): %+v", len(res.Samples), res.Samples)
+	}
+	chosen, haveIncumbent := 0, false
+	for _, smp := range res.Samples {
+		if smp.Elapsed <= 0 {
+			t.Fatalf("candidate S=%d not timed: %+v", smp.Shards, smp)
+		}
+		if smp.Chosen {
+			chosen++
+			if smp.Shards != res.NewShards {
+				t.Fatalf("chosen sample S=%d but committed %d", smp.Shards, res.NewShards)
+			}
+		}
+		haveIncumbent = haveIncumbent || smp.Shards == 4
+	}
+	if chosen != 1 || !haveIncumbent {
+		t.Fatalf("want exactly one chosen sample and the incumbent present: %+v", res.Samples)
+	}
+	if s.NumShards() != res.NewShards {
+		t.Fatalf("live count %d, committed %d", s.NumShards(), res.NewShards)
+	}
+	const k = 6
+	got, err := s.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyAll(d.users, d.items, got, k, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetuneStaleCommit pins the drain-boundary safety contract: a staged
+// re-structure built against a corpus that mutates mid-stage must be
+// refused with ErrRetuneStale, leaving the live structure untouched; the
+// convenience Retune loop absorbs the same race by re-staging.
+func TestRetuneStaleCommit(t *testing.T) {
+	s, _ := retuneComposite(t, 4)
+	staged, err := s.StageRetune(adapt.RetuneRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveItems([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitRetune(staged); !errors.Is(err, adapt.ErrRetuneStale) {
+		t.Fatalf("stale commit returned %v, want ErrRetuneStale", err)
+	}
+	if s.Retunes() != 0 || s.NumShards() != 4 {
+		t.Fatalf("stale commit mutated the live structure: retunes=%d shards=%d", s.Retunes(), s.NumShards())
+	}
+	// A fresh stage against the moved corpus commits cleanly.
+	staged, err = s.StageRetune(adapt.RetuneRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitRetune(staged); err != nil {
+		t.Fatal(err)
+	}
+	if s.Retunes() != 1 {
+		t.Fatalf("retunes=%d after clean commit, want 1", s.Retunes())
+	}
+}
+
+// TestRearmRestoredComposite pins the snapshot gap Rearm exists for: a
+// loaded composite (no factory closure survives serialization) serves but
+// refuses to re-structure; Rearm re-enables the retune path, and a built
+// receiver's own factory is never displaced.
+func TestRearmRestoredComposite(t *testing.T) {
+	s, d := retuneComposite(t, 4)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := persist.LoadAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := ls.(*Sharded)
+	if _, err := loaded.Retune(adapt.RetuneRequest{}); err == nil {
+		t.Fatal("restored composite retuned without a factory")
+	}
+	if err := loaded.Rearm(nil); err == nil {
+		t.Fatal("Rearm accepted a nil factory")
+	}
+	if err := loaded.Rearm(func() mips.Solver { return lemp.New(lemp.Config{Seed: 3}) }); err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Retune(adapt.RetuneRequest{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewShards != 2 {
+		t.Fatalf("rearmed retune committed %d shards, want 2", res.NewShards)
+	}
+	const k = 6
+	got, err := loaded.QueryAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mips.VerifyAll(d.users, d.items, got, k, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rearm on a receiver that has a factory is a no-op, not a displacement.
+	marker := false
+	if err := s.Rearm(func() mips.Solver { marker = true; return mips.NewNaive() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Retune(adapt.RetuneRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if marker {
+		t.Fatal("Rearm displaced an existing factory")
+	}
+}

@@ -192,6 +192,23 @@ type Config struct {
 	// each sub-solver; mutations invalidate the touched shards' copies, and
 	// revival falls back to a rebuild wherever no snapshot is retained.
 	RetainShardSnapshots bool
+	// DriftWindowUsers is the number of served users over which the
+	// build-time scan/user baseline locks in after every (re)structure
+	// (retune.go): once that many users have been answered, the observed
+	// scan rate becomes the DriftStats.BaselineScanPerUser the
+	// scan-regression trigger compares against. 0 selects the default
+	// (adapt.DefaultMinWindowUsers); negative disables baseline lock-in
+	// (and with it the scan-regression trigger).
+	DriftWindowUsers int
+	// AutoCores overrides the core count AutoSchedule resolution reads
+	// (waves.go decision table) — the deterministic test/operator override.
+	// 0 uses the resolved Threads count, which defaults to the measured
+	// GOMAXPROCS.
+	AutoCores int
+	// AutoSkewThreshold overrides the norm-skew ratio above which
+	// AutoSchedule picks the head-dominant TwoWave schedule (waves.go).
+	// 0 selects the default (DefaultAutoSkewThreshold).
+	AutoSkewThreshold float64
 }
 
 // shardState is one built partition.
@@ -249,6 +266,12 @@ type Sharded struct {
 	// accounting the churn benchmark reports.
 	headFirst bool
 	normFloor []float64
+	// userNorms caches one Euclidean norm per user row, maintained alongside
+	// s.users (Build, AddUsers, Load). Query-time shard skipping (queryShard)
+	// multiplies it against the routing cutoffs: an item score never exceeds
+	// item-norm times user-norm, so a cutoff-bounded shard can be skipped
+	// outright for any user whose floor already beats the product.
+	userNorms []float64
 	gen       uint64
 	mstats    MutationStats
 
@@ -271,6 +294,29 @@ type Sharded struct {
 	reviverOn  bool
 	reviveKick chan struct{}
 	snaps      [][]byte
+
+	// Drift accounting and adaptive re-structuring state (retune.go).
+	// driftAdds/driftRemoves/arrivalRoutes are per-shard churn counters
+	// since the last (re)build or committed retune, written by mutations
+	// (under stateMu's write side) and read by DriftStats (read side).
+	// usersServed and retiredScans are monotone composite meters:
+	// usersServed counts query fan-outs per user on the hot path;
+	// retiredScans folds a sub-solver's scan counter into the composite
+	// total whenever the solver is replaced (rebuild, revival, retune), so
+	// scan/user rates survive sub-solver swaps. driftMu guards the
+	// baseline lock-in marks; normSkew caches the head/tail mean-norm
+	// ratio of the current cut for AutoSchedule resolution (waves.go).
+	driftAdds     []int64
+	driftRemoves  []int64
+	arrivalRoutes []int64
+	usersServed   atomic.Int64
+	retiredScans  atomic.Int64
+	driftMu       sync.Mutex
+	scanMark      int64
+	userMark      int64
+	scanBaseline  float64
+	retunes       int
+	normSkew      float64
 }
 
 // New returns an unbuilt Sharded solver. Zero-valued config fields fall
@@ -325,6 +371,25 @@ func (s *Sharded) NumItems() int {
 		return 0
 	}
 	return s.items.Rows()
+}
+
+// NumShards reports the live partition count S (0 before Build). Retunes
+// can change it; mutations cannot.
+func (s *Sharded) NumShards() int {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return len(s.shards)
+}
+
+// Items returns the live corpus matrix (nil before Build). Mutations never
+// modify the matrix in place — they swap in fresh backing — so the returned
+// matrix is safe to read concurrently with queries; it is merely stale
+// after the next mutation. Verification flows (mips.VerifyMutation) and the
+// drift experiments read it to follow the corpus across churn.
+func (s *Sharded) Items() *mat.Matrix {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.items
 }
 
 // SetThreads implements mips.ThreadSetter, forwarding to every sub-solver
@@ -384,7 +449,47 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 	s.stateMu.Lock()
 	s.obs = nil
 	s.stateMu.Unlock()
-	nShards := s.cfg.Shards
+	parts, err := s.cutParts(items, s.cfg.Shards)
+	if err != nil {
+		return err
+	}
+	shards, subItems := makeShardStates(items, parts)
+	if err := s.buildAll(shards, users, subItems, nil); err != nil {
+		return err
+	}
+
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.epoch++
+	s.users, s.items, s.shards = users, items, shards
+	s.userNorms = users.RowNorms()
+	s.resetHealth(len(shards))
+	s.captureSnaps()
+	hf, ok := s.cfg.Partitioner.(HeadFirst)
+	s.headFirst = ok && hf.HeadFirst()
+	if s.headFirst {
+		norms := items.RowNorms()
+		s.normFloor = computeNormFloors(norms, parts)
+		s.normSkew = computeNormSkew(norms, parts)
+	} else {
+		s.normFloor = nil
+		s.normSkew = 0
+	}
+	s.gen = 0
+	s.mstats = MutationStats{}
+	s.retunes = 0
+	s.resetDriftLocked()
+	s.refreshComposite()
+	return nil
+}
+
+// cutParts runs the configured partitioner at the given shard count
+// (clamped to the item count), drops empty groups, and validates the cut.
+// Shared by Build and the retune staging path.
+func (s *Sharded) cutParts(items *mat.Matrix, nShards int) ([][]int, error) {
+	if nShards < 1 {
+		nShards = 1
+	}
 	if nShards > items.Rows() {
 		nShards = items.Rows()
 	}
@@ -396,15 +501,19 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 		}
 	}
 	if err := validatePartition(parts, items.Rows()); err != nil {
-		return fmt.Errorf("shard: partitioner %q: %w", s.cfg.Partitioner.Name(), err)
+		return nil, fmt.Errorf("shard: partitioner %q: %w", s.cfg.Partitioner.Name(), err)
 	}
+	return parts, nil
+}
 
+// makeShardStates materializes one shardState and sub-matrix per partition
+// group. Consecutive global ids alias the corpus rows, so contiguous
+// sharding costs no item copies.
+func makeShardStates(items *mat.Matrix, parts [][]int) ([]shardState, []*mat.Matrix) {
 	shards := make([]shardState, len(parts))
 	subItems := make([]*mat.Matrix, len(parts))
 	for i, ids := range parts {
 		if base, ok := contiguousRange(ids); ok {
-			// Consecutive global ids: the sub-matrix aliases the corpus
-			// rows, so contiguous sharding costs no item copies.
 			shards[i] = shardState{base: base, count: len(ids)}
 			subItems[i] = items.RowSlice(base, base+len(ids))
 		} else {
@@ -412,9 +521,16 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 			subItems[i] = items.SelectRows(ids)
 		}
 	}
+	return shards, subItems
+}
 
-	build := func(i int) error { return s.buildShard(&shards[i], i, users, subItems[i]) }
-	var err error
+// buildAll builds every shard in the set — serially under a Planner (so
+// timing measurements do not contend with each other), in parallel under a
+// Factory — optionally seeding floor-aware estimators with the given
+// per-user floors (retune staging passes the union of observed floors; nil
+// falls back to the per-shard observed boards).
+func (s *Sharded) buildAll(shards []shardState, users *mat.Matrix, subItems []*mat.Matrix, seed []float64) error {
+	build := func(i int) error { return s.buildShard(&shards[i], i, users, subItems[i], seed) }
 	if s.cfg.Planner != nil {
 		// Align the planner's measurements to the parallelism the shards
 		// will run at, so per-shard decisions extrapolate correctly.
@@ -422,57 +538,67 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 			ts.SetThreads(s.cfg.Threads)
 		}
 		for i := range shards {
-			if err = build(i); err != nil {
-				break
+			if err := build(i); err != nil {
+				return err
 			}
 		}
-	} else {
-		err = parallel.ForErrThreads(s.cfg.Threads, len(shards), 1, func(lo, hi int) error {
-			var first error
-			for i := lo; i < hi; i++ {
-				if e := build(i); e != nil && first == nil {
-					first = e
-				}
+		return nil
+	}
+	return parallel.ForErrThreads(s.cfg.Threads, len(shards), 1, func(lo, hi int) error {
+		var first error
+		for i := lo; i < hi; i++ {
+			if e := build(i); e != nil && first == nil {
+				first = e
 			}
-			return first
-		})
-	}
-	if err != nil {
-		return err
-	}
+		}
+		return first
+	})
+}
 
-	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
-	s.epoch++
-	s.users, s.items, s.shards = users, items, shards
-	s.resetHealth(len(shards))
-	s.captureSnaps()
-	hf, ok := s.cfg.Partitioner.(HeadFirst)
-	s.headFirst = ok && hf.HeadFirst()
-	if s.headFirst {
-		// Fixed routing cutoffs for item arrival (mutate.go): shard i's
-		// minimum member norm at Build. Routing an arrival to the first
-		// shard whose floor its norm meets preserves the head-to-tail
-		// invariant forever — adds never sink below their shard's floor,
-		// removals only raise a shard's true minimum.
-		norms := items.RowNorms()
-		s.normFloor = make([]float64, len(shards))
-		for i, ids := range parts {
-			mn := math.Inf(1)
-			for _, id := range ids {
-				if norms[id] < mn {
-					mn = norms[id]
-				}
+// computeNormFloors derives the fixed routing cutoffs for item arrival
+// (mutate.go): shard i's minimum member norm at cut time. Routing an
+// arrival to the first shard whose floor its norm meets preserves the
+// head-to-tail invariant forever — adds never sink below their shard's
+// floor, removals only raise a shard's true minimum.
+func computeNormFloors(norms []float64, parts [][]int) []float64 {
+	floors := make([]float64, len(parts))
+	for i, ids := range parts {
+		mn := math.Inf(1)
+		for _, id := range ids {
+			if norms[id] < mn {
+				mn = norms[id]
 			}
-			s.normFloor[i] = mn
 		}
-	} else {
-		s.normFloor = nil
+		floors[i] = mn
 	}
-	s.gen = 0
-	s.mstats = MutationStats{}
-	s.refreshComposite()
-	return nil
+	return floors
+}
+
+// computeNormSkew measures how head-dominant a head-first cut is: the mean
+// member norm of the head shard over the mean member norm of the last
+// (flattest) shard. 1.0 means a flat catalog — the head has no score
+// advantage to harvest — while kdd-style skew yields ratios well above the
+// AutoSchedule threshold. Computed at cut time (Build, Load, retune
+// commit) where the row norms are already in hand; mutations do not
+// recompute it, so the cached value describes the *cut*, going stale
+// exactly as the cut itself does — which is what the drift triggers
+// measure and a retune refreshes.
+func computeNormSkew(norms []float64, parts [][]int) float64 {
+	if len(parts) < 2 {
+		return 0
+	}
+	mean := func(ids []int) float64 {
+		var sum float64
+		for _, id := range ids {
+			sum += norms[id]
+		}
+		return sum / float64(len(ids))
+	}
+	tail := mean(parts[len(parts)-1])
+	if tail <= 0 {
+		return math.Inf(1)
+	}
+	return mean(parts[0]) / tail
 }
 
 // buildShard (re)builds one shard's sub-solver over the given sub-matrix —
@@ -481,7 +607,7 @@ func (s *Sharded) Build(users, items *mat.Matrix) error {
 // the shared path under Build (every shard), mutation (dirty shards only),
 // and revival (health.go). A panicking Planner, Factory, or sub-solver
 // Build is contained here into a typed error.
-func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix) (err error) {
+func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix, seed []float64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("shard %d: building: %w", i, &PanicError{Value: r, Stack: debug.Stack()})
@@ -498,12 +624,18 @@ func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix)
 		if solver == nil {
 			return fmt.Errorf("shard %d: factory returned nil solver", i)
 		}
-		// Replay the floors wave scheduling has fed this shard into a
-		// floor-aware estimator before building, so cost estimation samples
-		// at realized query thresholds (a hint: estimators ignore
-		// mismatched lengths). The Planner path measures real queries and
-		// needs no seeding.
-		if i < len(s.obs) && s.obs[i] != nil {
+		// Replay realized query thresholds into a floor-aware estimator
+		// before building, so cost estimation samples at the floors the
+		// shard will actually see (a hint: estimators ignore mismatched
+		// lengths). An explicit seed (retune staging passes the union of
+		// floors the old cut observed) wins over the shard's own observed
+		// board — a re-cut shard has no board of its own yet. The Planner
+		// path measures real queries and needs no seeding.
+		if seed != nil {
+			if fae, ok := solver.(mips.FloorAwareEstimator); ok && i > 0 {
+				fae.SetEstimationFloors(seed)
+			}
+		} else if i < len(s.obs) && s.obs[i] != nil {
 			if fae, ok := solver.(mips.FloorAwareEstimator); ok {
 				fae.SetEstimationFloors(s.obs[i].Snapshot(nil))
 			}
@@ -558,7 +690,7 @@ func (s *Sharded) refreshComposite() {
 	case !floorsOK || s.cfg.Schedule == SingleWave:
 		s.active = SingleWave
 	case s.cfg.Schedule == AutoSchedule:
-		s.active = TwoWave
+		s.active = s.resolveAuto()
 	default:
 		s.active = s.cfg.Schedule
 	}
@@ -567,7 +699,11 @@ func (s *Sharded) refreshComposite() {
 
 // TwoWave reports whether the active schedule is the two-wave floor-seeded
 // query path (see the package comment). False before Build.
-func (s *Sharded) TwoWave() bool { return s.shards != nil && s.active == TwoWave }
+func (s *Sharded) TwoWave() bool {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.shards != nil && s.active == TwoWave
+}
 
 // ScanStats implements mips.ScanCounter, summing every metered sub-solver.
 func (s *Sharded) ScanStats() mips.ScanStats {
@@ -580,6 +716,8 @@ func (s *Sharded) ScanStats() mips.ScanStats {
 
 // ResetScanStats implements mips.ScanCounter.
 func (s *Sharded) ResetScanStats() {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	for i := range s.shards {
 		if sc, ok := s.shards[i].solver.(mips.ScanCounter); ok {
 			sc.ResetScanStats()
@@ -592,6 +730,12 @@ func (s *Sharded) ResetScanStats() {
 // a two-wave query; the remainder are wave 2 — the split the sharding
 // benchmark reports per wave.
 func (s *Sharded) ShardScanStats() []mips.ScanStats {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.shardScanStatsLocked()
+}
+
+func (s *Sharded) shardScanStatsLocked() []mips.ScanStats {
 	out := make([]mips.ScanStats, len(s.shards))
 	for i := range s.shards {
 		if sc, ok := s.shards[i].solver.(mips.ScanCounter); ok {
@@ -668,6 +812,9 @@ func (s *Sharded) query(ctx context.Context, userIDs []int, k int, extFloors []f
 			return nil, fmt.Errorf("shard: user id %d out of range [0,%d)", u, s.users.Rows())
 		}
 	}
+	// Drift metering (retune.go): one atomic add per batch keeps the
+	// scan/user rate observable without touching the fan-out itself.
+	s.usersServed.Add(int64(len(userIDs)))
 	sc := s.getScratch(len(userIDs))
 	defer s.putScratch(sc)
 	partial := cov != nil
@@ -772,11 +919,46 @@ func (s *Sharded) queryShard(ctx context.Context, si int, userIDs []int, k int, 
 		// feedback dirty-shard rebuilds replay (waves.go).
 		recordObserved(s.obs[si], userIDs, floors)
 	}
+	// Cauchy–Schwarz shard skip. Under a head-first cut every member of a
+	// tail shard carries a norm below normFloor[si-1] — at cut time by the
+	// descending-norm ordering, and forever after by the fixed routing
+	// cutoffs (an arrival that met shard si-1's floor was routed there, not
+	// here). An item's score is at most its norm times the user's norm, so a
+	// user whose floor already beats normFloor[si-1]·‖u‖ provably gains
+	// nothing from this shard: drop them from the sub-query and its scan
+	// meter never moves. The bound is fixed at cut time, so it loosens
+	// exactly as the cut goes stale — the structural decay DriftStats meters
+	// and a retune repairs by re-deriving the cutoffs from the live corpus.
+	ids, qf := userIDs, floors
+	var pos []int
+	if floors != nil && si > 0 && s.headFirst && si-1 < len(s.normFloor) {
+		bound := s.normFloor[si-1]
+		sub := &sc.subs[si]
+		sub.ids, sub.floors, sub.pos = sub.ids[:0], sub.floors[:0], sub.pos[:0]
+		for qi, u := range userIDs {
+			if u < len(s.userNorms) && bound*s.userNorms[u] < floors[qi] {
+				continue
+			}
+			sub.ids = append(sub.ids, u)
+			sub.floors = append(sub.floors, floors[qi])
+			sub.pos = append(sub.pos, qi)
+		}
+		if len(sub.ids) == 0 {
+			// Every user bounded out: the shard provably contributes nothing
+			// to this batch. The shared all-nil slab merges as empty rows and
+			// counts as answered coverage — it was, with a proof.
+			sc.partials[si] = sc.empty
+			return nil
+		}
+		if len(sub.ids) < len(userIDs) {
+			ids, qf, pos = sub.ids, sub.floors, sub.pos
+		}
+	}
 	kq := k
 	if kq > sh.count {
 		kq = sh.count
 	}
-	res, err := s.shardQuery(ctx, sh, si, userIDs, kq, floors, nil, sc)
+	res, err := s.shardQuery(ctx, sh, si, ids, kq, qf, nil, sc)
 	if err == nil {
 		err = sc.perr[si] // a recovered panic left a typed error behind
 	}
@@ -789,6 +971,16 @@ func (s *Sharded) queryShard(ctx context.Context, si int, userIDs []int, k int, 
 				row[i].Item = sh.globalID(row[i].Item)
 			}
 		}
+	}
+	if pos != nil {
+		// Scatter the filtered sub-result back into batch order; bounded-out
+		// users keep nil rows, which merge as empty — exact, because every
+		// item they were spared scores strictly below their floor.
+		full := make([][]topk.Entry, len(userIDs))
+		for j, qi := range pos {
+			full[qi] = res[j]
+		}
+		res = full
 	}
 	sc.partials[si] = res
 	return nil

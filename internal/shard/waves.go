@@ -51,8 +51,12 @@ import (
 type Schedule int
 
 const (
-	// AutoSchedule picks TwoWave when the composite is floor-eligible and
-	// SingleWave otherwise — the historical default behavior.
+	// AutoSchedule resolves the schedule from the machine and the model
+	// instead of hardcoding one: SingleWave when floor propagation is
+	// unavailable, otherwise resolveAuto's decision table over measured
+	// core count and the cut's norm skew (see the table at autoSchedule).
+	// Resolution is re-run at every structural refresh — build, mutation,
+	// revival, retune — so the pick tracks the live shard set.
 	AutoSchedule Schedule = iota
 	// SingleWave is the blind fan-out.
 	SingleWave
@@ -97,6 +101,60 @@ func ParseSchedule(name string) (Schedule, error) {
 	return 0, fmt.Errorf("shard: unknown schedule %q (want auto, single, two-wave, cascade, or pipelined)", name)
 }
 
+// DefaultAutoSkewThreshold is the norm-skew pivot of the auto-schedule
+// decision table: at or above it the head shard's norms dominate the tail's
+// enough that head-first floor seeding prunes most tail work.
+const DefaultAutoSkewThreshold = 1.5
+
+// autoSchedule is the ROADMAP `auto` decision table, resolved from measured
+// core count and the cut's norm skew (mean head-shard norm over mean
+// last-shard norm, computeNormSkew). Floor eligibility is decided before
+// this is consulted — SingleWave never reaches here.
+//
+//	norm skew            cores   schedule   rationale
+//	---------            -----   --------   ---------
+//	>= threshold         any     TwoWave    head floors prune the tail; one
+//	                                        cheap serial boundary buys the
+//	                                        pruning, full fan-out after it
+//	unknown (0)          any     TwoWave    no skew evidence (non-ByNorm cut
+//	                                        or no norms cached): keep the
+//	                                        historical default
+//	< threshold          <= 1    Cascade    flat norms need the tightest
+//	                                        floors to prune at all; with no
+//	                                        parallelism to lose, serial
+//	                                        waves cost nothing extra
+//	< threshold          >  1    Pipelined  flat norms make wave order
+//	                                        irrelevant, so don't serialize:
+//	                                        run everything, share floors
+//	                                        through the live board
+//
+// Deterministic override for tests: pin Config.Schedule explicitly, or pin
+// the inputs via Config.AutoCores / Config.AutoSkewThreshold.
+func autoSchedule(cores int, skew, threshold float64) Schedule {
+	if threshold <= 0 {
+		threshold = DefaultAutoSkewThreshold
+	}
+	if skew >= threshold || skew == 0 {
+		return TwoWave
+	}
+	if cores <= 1 {
+		return Cascade
+	}
+	return Pipelined
+}
+
+// resolveAuto applies the auto-schedule decision table to this composite's
+// measured inputs: the resolved worker count (Config.AutoCores overrides for
+// determinism) and the cut-time norm skew cached by Build / the last retune.
+// Caller holds stateMu and has already established floor eligibility.
+func (s *Sharded) resolveAuto() Schedule {
+	cores := s.cfg.AutoCores
+	if cores <= 0 {
+		cores = parallel.Resolve(s.cfg.Threads)
+	}
+	return autoSchedule(cores, s.normSkew, s.cfg.AutoSkewThreshold)
+}
+
 // SetSchedule installs a new requested schedule on a built (or unbuilt)
 // composite and re-resolves the active schedule against the current shard
 // set. It must not race in-flight queries (the serving layer holds its
@@ -125,15 +183,23 @@ func (s *Sharded) SetScheduleByName(name string) error {
 
 // ActiveSchedule reports the schedule Query actually runs: the requested
 // Config.Schedule resolved against eligibility (AutoSchedule before Build).
-func (s *Sharded) ActiveSchedule() Schedule { return s.active }
+func (s *Sharded) ActiveSchedule() Schedule {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.active
+}
 
 // ActiveScheduleName is ActiveSchedule().String(), the structural accessor
 // the serving layer reports in Stats.
-func (s *Sharded) ActiveScheduleName() string { return s.active.String() }
+func (s *Sharded) ActiveScheduleName() string { return s.ActiveSchedule().String() }
 
 // RequestedSchedule reports the configured schedule before eligibility
 // resolution (what Save persists).
-func (s *Sharded) RequestedSchedule() Schedule { return s.cfg.Schedule }
+func (s *Sharded) RequestedSchedule() Schedule {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.cfg.Schedule
+}
 
 // WaveScanStats groups ShardScanStats by wave of the active schedule: one
 // entry per wave for TwoWave ([head, Σ tails]), one per shard for Cascade
@@ -141,7 +207,9 @@ func (s *Sharded) RequestedSchedule() Schedule { return s.cfg.Schedule }
 // SingleWave. Counts come from the sub-solvers' mips.ScanCounter meters, so
 // shards whose solver is unmetered report zero.
 func (s *Sharded) WaveScanStats() []mips.ScanStats {
-	per := s.ShardScanStats()
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	per := s.shardScanStatsLocked()
 	if len(per) == 0 {
 		return nil
 	}
@@ -175,6 +243,19 @@ type queryScratch struct {
 	empty    [][]topk.Entry // all-nil rows; aliased by every dead shard
 	perr     []error        // recoverShard's per-shard fault slots
 	board    *topk.FloorBoard
+	// subs holds one shard-skip filter buffer per shard (queryShard's
+	// Cauchy–Schwarz skip): per-shard slots because wave fan-outs query
+	// shards concurrently over one shared scratch.
+	subs []shardSub
+}
+
+// shardSub is queryShard's reusable filtered-query buffer: the surviving
+// user ids, their floors, and each survivor's position in the original
+// batch (for scattering the sub-result back into batch order).
+type shardSub struct {
+	ids    []int
+	floors []float64
+	pos    []int
 }
 
 // ensure sizes the scratch for a query of nUsers users over nShards shards,
@@ -202,6 +283,10 @@ func (sc *queryScratch) ensure(nShards, nUsers int) {
 		sc.floors = make([]float64, nUsers)
 	}
 	sc.floors = sc.floors[:nUsers]
+	if cap(sc.subs) < nShards {
+		sc.subs = make([]shardSub, nShards)
+	}
+	sc.subs = sc.subs[:nShards]
 }
 
 // boardFor returns the scratch's FloorBoard reset to -Inf, reallocating only
