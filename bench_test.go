@@ -19,6 +19,7 @@ import (
 	"optimus/internal/mips"
 	"optimus/internal/mutlog"
 	"optimus/internal/shard"
+	"optimus/internal/transport"
 )
 
 const benchScale = 0.12
@@ -333,6 +334,65 @@ func BenchmarkWaveScheduling(b *testing.B) {
 				users := float64(m.Users.Rows()) * float64(b.N)
 				b.ReportMetric(users/b.Elapsed().Seconds(), "users/s")
 				b.ReportMetric(float64(total)/users, "scan/user")
+			})
+		}
+	}
+}
+
+// BenchmarkLoopbackOverhead — the wire-path tax: the same by-norm sharded
+// composite served by in-process workers (direct) and by loopback-transport
+// workers (every coordinator↔worker call round-tripped through the wire
+// codec). Loopback pays the full encode/decode cost with zero network
+// latency, so direct-vs-wired users/s is pure serialization overhead — the
+// cost floor of a networked deployment. Wired runs additionally report
+// bytes/user (request + reply traffic per queried user) off the transport's
+// byte meters. Compare with
+//
+//	go test -bench=LoopbackOverhead -run=^$ -count=5 | benchstat
+func BenchmarkLoopbackOverhead(b *testing.B) {
+	m := benchModel(b, "netflix-nomad-50")
+	const k = 10
+	const shards = 4
+	for _, solver := range []string{"BMM", "LEMP"} {
+		for _, path := range []string{"direct", "wired"} {
+			b.Run(fmt.Sprintf("%s/S=%d/%s", solver, shards, path), func(b *testing.B) {
+				solver := solver
+				cfg := shard.Config{
+					Shards:      shards,
+					Partitioner: shard.ByNorm(),
+					Factory:     func() mips.Solver { return benchSolver(solver) },
+				}
+				var lb *transport.Loopback
+				if path == "wired" {
+					lb = transport.NewLoopback()
+					cfg.WorkerDialer = lb.Dialer()
+				}
+				s := shard.New(cfg)
+				if err := s.Build(m.Users, m.Items); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.QueryAll(k); err != nil { // warm tuning caches (LEMP)
+					b.Fatal(err)
+				}
+				var before transport.Stats
+				if lb != nil {
+					before = lb.Stats()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.QueryAll(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				users := float64(m.Users.Rows()) * float64(b.N)
+				b.ReportMetric(users/b.Elapsed().Seconds(), "users/s")
+				if lb != nil {
+					after := lb.Stats()
+					wire := (after.BytesSent - before.BytesSent) +
+						(after.BytesReceived - before.BytesReceived)
+					b.ReportMetric(float64(wire)/users, "bytes/user")
+				}
 			})
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"optimus/internal/core"
 	"optimus/internal/faulty"
 	"optimus/internal/mips"
+	"optimus/internal/transport"
 )
 
 // TestChaosSoak is the seeded chaos suite CI runs under -race: a partial-mode
@@ -24,11 +25,18 @@ import (
 // goroutines leak.
 func TestChaosSoak(t *testing.T) {
 	for _, seed := range []int64{7, 42} {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { chaosSoak(t, seed) })
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { chaosSoak(t, seed, false) })
 	}
+	// The wire seed moves the fault injector from the sub-solvers to the
+	// transport: clean workers behind loopback conns that drop and stall
+	// exchanges at a seeded rate. Drops fire before the worker executes and
+	// delays race the caller's deadline, so both are retry-safe on mutation
+	// ops; the non-idempotent wire faults (corrupt, duplicate) are covered
+	// deterministically in internal/transport's fault-matrix tests instead.
+	t.Run("seed=21/wire", func(t *testing.T) { chaosSoak(t, 21, true) })
 }
 
-func chaosSoak(t *testing.T, seed int64) {
+func chaosSoak(t *testing.T, seed int64, wire bool) {
 	baseline := runtime.NumGoroutine()
 
 	rng := rand.New(rand.NewSource(seed))
@@ -41,14 +49,38 @@ func chaosSoak(t *testing.T, seed int64) {
 		}
 	}
 
-	var mu sync.Mutex
-	shardSeed := seed
-	sh := NewSharded(ShardedConfig{
+	cfg := ShardedConfig{
 		Shards:               4,
 		Partitioner:          ShardByNorm(),
 		Schedule:             SchedulePipelined,
 		RetainShardSnapshots: true,
-		Factory: func() Solver {
+	}
+	var disarm func() // wire mode: quiets the transport before the oracle
+	if wire {
+		// Seeded wire-fault plan: drops and 1ms stalls scattered over the
+		// first few thousand exchanges (the soak's lifetime), then silence —
+		// so quarantined shards always have a clean window to revive through.
+		var plan faulty.ConnPlan
+		for call := 1; call <= 4000; call++ {
+			switch r := rng.Float64(); {
+			case r < 0.02:
+				plan.Faults = append(plan.Faults, faulty.ConnFault{Call: call, Kind: faulty.ConnDrop})
+			case r < 0.03:
+				plan.Faults = append(plan.Faults, faulty.ConnFault{
+					Call: call, Kind: faulty.ConnDelay, Latency: time.Millisecond,
+				})
+			}
+		}
+		cf := faulty.NewConnFaults(plan)
+		disarm = cf.Disarm
+		lb := NewLoopbackTransport()
+		lb.Wrap = func(_ int, c transport.Conn) transport.Conn { return cf.Wrap(c) }
+		cfg.WorkerDialer = lb.Dialer()
+		cfg.Factory = func() Solver { return core.NewBMM(core.BMMConfig{}) }
+	} else {
+		var mu sync.Mutex
+		shardSeed := seed
+		cfg.Factory = func() Solver {
 			mu.Lock()
 			shardSeed++
 			s := shardSeed
@@ -59,8 +91,9 @@ func chaosSoak(t *testing.T, seed int64) {
 				Kinds:   []faulty.Kind{faulty.KindError, faulty.KindPanic, faulty.KindLatency},
 				Latency: time.Millisecond,
 			})
-		},
-	})
+		}
+	}
+	sh := NewSharded(cfg)
 	// The injector faults Build too (contained into a typed error, never an
 	// escaped panic); retry like an operator would — each attempt draws
 	// fresh wrappers from the factory.
@@ -142,6 +175,9 @@ func chaosSoak(t *testing.T, seed int64) {
 		t.Fatalf("shards did not converge to healthy: %v", err)
 	}
 	srv.Close()
+	if disarm != nil {
+		disarm()
+	}
 
 	// Convergence oracle: after the dust settles the composite is exact over
 	// the grown corpus, entry-for-entry against a fresh build.

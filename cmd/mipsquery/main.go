@@ -41,6 +41,15 @@
 // with -save the re-structured index is what lands on disk:
 //
 //	mipsquery -snapshot drifted.osnp -k 10 -retune -save repaired.osnp
+//
+// -transport loopback runs a sharded build or a sharded snapshot through
+// the worker wire path: every coordinator↔worker exchange crosses the
+// length-prefixed wire codec in-process (a snapshot's shard sections ship
+// to and boot their dialed workers — placement through the manifest), and
+// the run reports the wire traffic at exit:
+//
+//	mipsquery -users u.omx -items i.omx -k 10 -solver bmm -shards 4 -transport loopback
+//	mipsquery -snapshot sharded.osnp -k 10 -transport loopback
 package main
 
 import (
@@ -62,6 +71,7 @@ import (
 	"optimus/internal/persist"
 	"optimus/internal/shard"
 	"optimus/internal/topk"
+	"optimus/internal/transport"
 )
 
 func main() {
@@ -81,8 +91,13 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "query deadline (e.g. 500ms); the batch fails with a deadline error instead of running long")
 		partial   = flag.Bool("partial", false, "degraded mode for a sharded solver: answer from healthy shards and print the coverage report")
 		retune    = flag.Bool("retune", false, "run the shard-count sweep on a sharded index before answering; prints the drift report and per-candidate timings")
+		transp    = flag.String("transport", "", "worker transport for a sharded run: loopback (every coordinator-worker call crosses the wire codec in-process; default is direct)")
 	)
 	flag.Parse()
+	dialer, wire, err := workerDialer(*transp)
+	if err != nil {
+		fatal(err)
+	}
 	if *snapPath == "" && (*usersPath == "" || *itemsPath == "") {
 		fmt.Fprintln(os.Stderr, "mipsquery: -users and -items are required (or -snapshot)")
 		flag.Usage()
@@ -91,7 +106,7 @@ func main() {
 
 	var results [][]topk.Entry
 	if *snapPath != "" {
-		s, err := loadSnapshot(*snapPath, *threads)
+		s, err := loadSnapshot(*snapPath, *threads, dialer)
 		if err != nil {
 			fatal(err)
 		}
@@ -151,8 +166,8 @@ func main() {
 			if *shards > 1 {
 				fatal(fmt.Errorf("-shards does not combine with -solver optimus (shard an explicit solver)"))
 			}
-			if *timeout > 0 || *partial || *retune {
-				fatal(fmt.Errorf("-timeout/-partial/-retune do not combine with -solver optimus (use an explicit solver)"))
+			if *timeout > 0 || *partial || *retune || dialer != nil {
+				fatal(fmt.Errorf("-timeout/-partial/-retune/-transport do not combine with -solver optimus (use an explicit solver)"))
 			}
 			opt := core.NewOptimus(core.OptimusConfig{Seed: *seed, Threads: *threads},
 				core.NewMaximus(core.MaximusConfig{Seed: *seed, Threads: *threads}),
@@ -176,9 +191,10 @@ func main() {
 			}
 			if *shards > 1 {
 				sh := shard.New(shard.Config{
-					Shards:      *shards,
-					Partitioner: shard.ByNorm(),
-					Threads:     *threads,
+					Shards:       *shards,
+					Partitioner:  shard.ByNorm(),
+					Threads:      *threads,
+					WorkerDialer: dialer,
 					Factory: func() mips.Solver {
 						sub, _ := newSolver(*solver, *threads, *seed)
 						return sub
@@ -192,6 +208,8 @@ func main() {
 				s = sh
 			} else if *schedule != "" {
 				fatal(fmt.Errorf("-schedule requires -shards > 1 (or a sharded -snapshot)"))
+			} else if dialer != nil {
+				fatal(fmt.Errorf("-transport requires -shards > 1 (or a sharded -snapshot)"))
 			}
 			if err := s.Build(users, items); err != nil {
 				fatal(err)
@@ -219,6 +237,11 @@ func main() {
 		}
 	}
 
+	if wire != nil {
+		st := wire.Stats()
+		fmt.Printf("wire: %d worker dial(s), %d call(s), %d B sent, %d B received\n",
+			st.Dials, st.Calls, st.BytesSent, st.BytesReceived)
+	}
 	if *user >= 0 {
 		if *user >= len(results) {
 			fatal(fmt.Errorf("user %d out of range [0,%d)", *user, len(results)))
@@ -333,12 +356,37 @@ func newSolver(name string, threads int, seed int64) (mips.Solver, error) {
 	}
 }
 
-func loadSnapshot(path string, threads int) (mips.Solver, error) {
+// workerDialer maps the -transport flag to a shard.WorkerDialer; the
+// returned transport (loopback only, for now) meters the wire traffic the
+// run reports at exit.
+func workerDialer(name string) (shard.WorkerDialer, *transport.Loopback, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return nil, nil, nil
+	case "loopback":
+		lb := transport.NewLoopback()
+		return lb.Dialer(), lb, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -transport %q (supported: loopback)", name)
+	}
+}
+
+func loadSnapshot(path string, threads int, dialer shard.WorkerDialer) (mips.Solver, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	// Under a worker transport, load through a dialing composite: each shard
+	// section of the manifest ships to (and boots) its dialed worker. A
+	// non-sharded snapshot fails the manifest's kind check with a clear error.
+	if dialer != nil {
+		sh := shard.New(shard.Config{Threads: threads, WorkerDialer: dialer})
+		if err := sh.Load(bufio.NewReader(f)); err != nil {
+			return nil, fmt.Errorf("-transport: %w (a worker transport needs a sharded snapshot)", err)
+		}
+		return sh, nil
+	}
 	ls, err := persist.LoadAny(bufio.NewReader(f))
 	if err != nil {
 		return nil, err

@@ -119,6 +119,26 @@ func (t *Tuner) Check() (RetuneResult, bool, error) {
 	return res, true, nil
 }
 
+// FlushTap is the structural shape of a mutation log's flush observer hook
+// (mutlog.Log.SetObserver): the tap calls its function after every
+// successfully applied batch, with the log's lock held. Named structurally
+// so adapt stays decoupled from the mutlog package.
+type FlushTap interface {
+	SetObserver(fn func(adds, removes int))
+}
+
+// TapLog wires a mutation log's flush boundary straight into Kick: every
+// applied batch — a drain-triggered flush, a MaxEvents size flush, a
+// MaxDelay background flush, an explicit Flush — nudges the background loop
+// to evaluate the policy immediately instead of one poll period later. Kick
+// is a non-blocking coalescing send, satisfying the observer's
+// must-not-call-back contract. This is the single wiring point the serving
+// layer (and any standalone log owner) uses; installing a tap replaces any
+// previous observer on the log.
+func (t *Tuner) TapLog(l FlushTap) {
+	l.SetObserver(func(int, int) { t.Kick() })
+}
+
 // Kick asks the background loop to run a check now instead of waiting out
 // the poll interval. Non-blocking and coalescing; a no-op without a
 // background loop (Config.Interval < 0).

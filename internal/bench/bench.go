@@ -71,7 +71,7 @@ func New(opt Options) *Runner {
 func Experiments() []string {
 	return []string{
 		"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
-		"sharding", "waves", "churn", "coldstart", "drift",
+		"sharding", "waves", "loopback", "churn", "coldstart", "drift",
 		"ablation-clustering", "ablation-params", "ablation-ttest", "ablation-costmodel",
 		"ablation-conetree", "ablation-approx",
 	}
@@ -100,6 +100,8 @@ func (r *Runner) Run(id string) error {
 		return r.Sharding()
 	case "waves":
 		return r.Waves()
+	case "loopback":
+		return r.Loopback()
 	case "churn":
 		return r.Churn()
 	case "coldstart":

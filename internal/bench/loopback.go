@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+
+	"optimus/internal/core"
+	"optimus/internal/lemp"
+	"optimus/internal/mips"
+	"optimus/internal/shard"
+	"optimus/internal/transport"
+)
+
+// Loopback measures the wire path's overhead: the same sharded composite
+// queried directly (workers in-process) and through the loopback transport
+// (every coordinator↔worker call round-tripped through the wire codec),
+// reporting users/s for both, the slowdown, and the wire traffic per user.
+// This is the cost floor of a future networked deployment — loopback pays
+// the full encode/decode tax with zero network latency, so the gap between
+// the columns is pure serialization. With verification on, the loopback
+// results are checked entry-for-entry against the direct ones.
+func (r *Runner) Loopback() error {
+	const k = 10
+	r.printf("== Loopback transport: wire-path overhead vs direct execution (by-norm, K=%d) ==\n", k)
+	for _, name := range r.modelsOrDefault([]string{"netflix-nomad-50", "r2-nomad-50"}) {
+		m, err := r.generate(name)
+		if err != nil {
+			return err
+		}
+		nUsers := m.Users.Rows()
+		r.printf("%s (%d users x %d items)\n", name, nUsers, m.Items.Rows())
+		r.printf("  %-10s %4s %12s %12s %9s %11s %11s %12s\n",
+			"solver", "S", "direct-u/s", "loop-u/s", "slowdown", "calls/user", "bytes/user", "wire-total")
+		for _, sub := range []string{"BMM", "LEMP"} {
+			factory := r.loopbackFactory(sub)
+			for _, shards := range []int{4, 8} {
+				cfg := shard.Config{
+					Shards:      shards,
+					Partitioner: shard.ByNorm(),
+					Threads:     r.opt.Threads,
+					Factory:     factory,
+				}
+				direct := shard.New(cfg)
+				if err := direct.Build(m.Users, m.Items); err != nil {
+					return fmt.Errorf("loopback %s S=%d direct build: %w", sub, shards, err)
+				}
+				dt, dres, err := r.queryOnly(direct, m, k)
+				if err != nil {
+					return fmt.Errorf("loopback %s S=%d direct: %w", sub, shards, err)
+				}
+
+				lb := transport.NewLoopback()
+				cfg.WorkerDialer = lb.Dialer()
+				wired := shard.New(cfg)
+				if err := wired.Build(m.Users, m.Items); err != nil {
+					return fmt.Errorf("loopback %s S=%d wired build: %w", sub, shards, err)
+				}
+				before := lb.Stats()
+				lt, lres, err := r.queryOnly(wired, m, k)
+				if err != nil {
+					return fmt.Errorf("loopback %s S=%d wired: %w", sub, shards, err)
+				}
+				after := lb.Stats()
+				if r.opt.Verify {
+					for u := range dres {
+						if !sameItems(dres[u], lres[u]) {
+							return fmt.Errorf("loopback %s S=%d: user %d diverges over the wire (%v vs %v)",
+								sub, shards, u, lres[u], dres[u])
+						}
+					}
+				}
+				wireBytes := (after.BytesSent - before.BytesSent) + (after.BytesReceived - before.BytesReceived)
+				wireCalls := after.Calls - before.Calls
+				r.printf("  %-10s %4d %12.0f %12.0f %9s %11.2f %11.0f %12d\n",
+					sub, shards,
+					float64(nUsers)/dt.Seconds(), float64(nUsers)/lt.Seconds(),
+					ratio(lt, dt),
+					float64(wireCalls)/float64(nUsers), float64(wireBytes)/float64(nUsers),
+					wireBytes)
+			}
+		}
+		r.printf("\n")
+	}
+	return nil
+}
+
+// loopbackFactory returns the sub-solver factory for the loopback overhead
+// experiment: BMM (dense scans, the heaviest per-shard work — serialization
+// amortizes best) and LEMP (pruned buckets, the lightest — serialization
+// shows worst).
+func (r *Runner) loopbackFactory(sub string) mips.Factory {
+	if sub == "LEMP" {
+		return func() mips.Solver {
+			return lemp.New(lemp.Config{Threads: r.opt.Threads, Seed: r.opt.Seed + 11})
+		}
+	}
+	return func() mips.Solver {
+		return core.NewBMM(core.BMMConfig{Threads: r.opt.Threads})
+	}
+}

@@ -1,0 +1,181 @@
+package faulty
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Conn is the structural shape of a transport connection (one blocking
+// request/reply exchange plus teardown). It is declared here rather than
+// imported so this package stays transport-agnostic: internal/transport's
+// Conn satisfies it without either package importing the other, which keeps
+// the shard→faulty→transport import graph acyclic.
+type Conn interface {
+	Call(ctx context.Context, op byte, req []byte) ([]byte, error)
+	Close() error
+}
+
+// ConnFaultKind enumerates the distributed failure modes a wire can exhibit.
+type ConnFaultKind int
+
+const (
+	// ConnDrop fails the exchange outright — the message never arrives.
+	ConnDrop ConnFaultKind = iota
+	// ConnDelay stalls the exchange for Latency before proceeding, racing
+	// the caller's context: a delay past the deadline surfaces as the
+	// context's own error, exactly like a slow remote peer.
+	ConnDelay
+	// ConnCorrupt delivers a reply whose status byte is flipped — a frame
+	// the client's decoder must reject, never silently mis-answer from.
+	ConnCorrupt
+	// ConnDuplicate performs the exchange twice and delivers the second
+	// reply — the at-least-once retry a real network layer produces, which
+	// idempotent worker calls must tolerate.
+	ConnDuplicate
+)
+
+// String names the kind for test output.
+func (k ConnFaultKind) String() string {
+	switch k {
+	case ConnDrop:
+		return "drop"
+	case ConnDelay:
+		return "delay"
+	case ConnCorrupt:
+		return "corrupt"
+	case ConnDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("ConnFaultKind(%d)", int(k))
+	}
+}
+
+// ConnFault schedules one fault at the Nth exchange (1-based) counted across
+// every conn sharing the same ConnFaults — redials included.
+type ConnFault struct {
+	Call    int           // fires when the shared exchange counter hits this value
+	Kind    ConnFaultKind //
+	Latency time.Duration // ConnDelay stall; ignored otherwise
+}
+
+// ConnPlan scripts a deterministic set of wire faults.
+type ConnPlan struct {
+	Faults []ConnFault
+}
+
+// ConnFaults injects a ConnPlan into every conn wrapped by the same
+// instance. The exchange counter is shared across wraps — deliberately:
+// revival dials a fresh conn, and a counter that reset on redial would
+// re-fire the same fault forever, so the quarantine/revival loop could never
+// converge. One ConnFaults per scripted scenario; Wrap it into each dial.
+type ConnFaults struct {
+	mu    sync.Mutex
+	plan  ConnPlan
+	calls int
+}
+
+// NewConnFaults returns a shared fault injector for plan.
+func NewConnFaults(plan ConnPlan) *ConnFaults {
+	return &ConnFaults{plan: plan}
+}
+
+// Calls returns the number of exchanges observed across all wrapped conns.
+func (f *ConnFaults) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Schedule appends one fault to the live plan — how a test arms a fault
+// after the build-time exchanges (caps fetch, snapshot capture) have already
+// advanced the counter: read Calls, schedule at Calls()+1.
+func (f *ConnFaults) Schedule(ft ConnFault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan.Faults = append(f.plan.Faults, ft)
+}
+
+// Disarm clears every not-yet-fired fault, quieting the wire for good. The
+// chaos soak calls it once the system has converged back to healthy, so its
+// exactness oracle runs against a clean transport — the moral equivalent of
+// revival shedding a solver-level fault wrapper.
+func (f *ConnFaults) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan.Faults = nil
+}
+
+// next advances the shared counter and returns the fault scheduled for this
+// exchange, if any.
+func (f *ConnFaults) next() (ConnFault, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	for _, ft := range f.plan.Faults {
+		if ft.Call == f.calls {
+			return ft, true
+		}
+	}
+	return ConnFault{}, false
+}
+
+// Wrap interposes the shared fault script on one conn.
+func (f *ConnFaults) Wrap(inner Conn) Conn {
+	return &faultyConn{inner: inner, faults: f}
+}
+
+type faultyConn struct {
+	inner  Conn
+	faults *ConnFaults
+}
+
+func (c *faultyConn) Call(ctx context.Context, op byte, req []byte) ([]byte, error) {
+	ft, fire := c.faults.next()
+	if !fire {
+		return c.inner.Call(ctx, op, req)
+	}
+	switch ft.Kind {
+	case ConnDrop:
+		return nil, fmt.Errorf("conn call %d dropped: %w", ft.Call, ErrInjected)
+	case ConnDelay:
+		timer := time.NewTimer(ft.Latency)
+		defer timer.Stop()
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		} else {
+			<-timer.C
+		}
+		return c.inner.Call(ctx, op, req)
+	case ConnCorrupt:
+		reply, err := c.inner.Call(ctx, op, req)
+		if err != nil || len(reply) == 0 {
+			return reply, err
+		}
+		// Corrupt a copy — the handler may own the original backing array.
+		bad := make([]byte, len(reply))
+		copy(bad, reply)
+		bad[0] ^= 0x5a // any legal status becomes an illegal one
+		return bad, nil
+	case ConnDuplicate:
+		first, err := c.inner.Call(ctx, op, req)
+		if err != nil {
+			return nil, err
+		}
+		second, err := c.inner.Call(ctx, op, req)
+		if err != nil {
+			// The retry itself failed; the first delivery stands.
+			return first, nil
+		}
+		return second, nil
+	default:
+		return nil, fmt.Errorf("conn call %d: unknown fault kind %d: %w", ft.Call, int(ft.Kind), ErrInjected)
+	}
+}
+
+func (c *faultyConn) Close() error { return c.inner.Close() }

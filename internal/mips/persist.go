@@ -1,6 +1,7 @@
 package mips
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -28,6 +29,22 @@ import (
 type Persister interface {
 	Save(w io.Writer) error
 	Load(r io.Reader) error
+}
+
+// SnapshotBytes serializes a solver's snapshot into a fresh byte slice — the
+// shard-shipping helper: the returned bytes are the solver's self-describing
+// persist stream, reconstructible by persist.LoadAny on any side of a wire.
+// Fails when the solver does not implement Persister.
+func SnapshotBytes(s Solver) ([]byte, error) {
+	p, ok := s.(Persister)
+	if !ok {
+		return nil, fmt.Errorf("mips: %s does not implement Save", s.Name())
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // ValidatePermutation checks that ids is a permutation of [0, n) — the

@@ -385,6 +385,26 @@ func (e *Encoder) Matrix(m *mat.Matrix) {
 	}
 }
 
+// NewEncoder returns a standalone Encoder for framing outside a snapshot
+// stream — wire messages reuse the section-body primitives (little-endian
+// integers, count-prefixed slices, sticky errors) without the OSNP header.
+// The base offset is zero, so Matrix alignment is relative to the message
+// start; a transport that needs absolute alignment must pad itself.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Finish returns the encoded body, or the first sticky error.
+func (e *Encoder) Finish() ([]byte, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf.Bytes(), nil
+}
+
+// NewDecoder returns a standalone Decoder over data — the read side of
+// NewEncoder. The decoder aliases data; callers must not mutate it while
+// decoding.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
 // Decoder reads one section body. The first failure sticks: every later
 // accessor returns a zero value, and Err reports the cause. Callers decode
 // the whole section and check Err once.

@@ -133,9 +133,7 @@ func (s *Server) Adapt(cfg adapt.Config) (*adapt.Tuner, error) {
 	log := s.log
 	s.mu.Unlock()
 	if log != nil {
-		// Kick is a non-blocking coalescing send, satisfying the observer's
-		// must-not-call-back contract.
-		log.SetObserver(func(int, int) { tuner.Kick() })
+		tuner.TapLog(log)
 	}
 	return tuner, nil
 }

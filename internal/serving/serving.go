@@ -430,7 +430,7 @@ func (s *Server) Log(cfg mutlog.Config) (*mutlog.Log, error) {
 	s.mu.Unlock()
 	if tuner != nil {
 		// A tuner attached first: wire the flush tap now (see Adapt).
-		log.SetObserver(func(int, int) { tuner.Kick() })
+		tuner.TapLog(log)
 	}
 	return log, nil
 }

@@ -42,11 +42,13 @@ func newFaultComposite(t *testing.T, users, items *mat.Matrix, schedule Schedule
 	return sh
 }
 
-// armShard swaps a fault-injecting wrapper over one shard's sub-solver. Only
-// valid before queries start (the test owns the composite exclusively).
+// armShard swaps a fault-injecting wrapper over one shard's sub-solver,
+// re-attaching the wrapped solver through the worker boundary. Only valid
+// before queries start (the test owns the composite exclusively).
 func armShard(sh *Sharded, si int, plan faulty.Plan) *faulty.Solver {
-	w := faulty.Wrap(sh.shards[si].solver, plan)
-	sh.shards[si].solver = w
+	lw := sh.shards[si].w.(*localWorker)
+	w := faulty.Wrap(lw.Solver(), plan)
+	sh.shards[si].attach(NewWorker(w))
 	return w
 }
 

@@ -314,11 +314,18 @@ func (s *Sharded) reviveShard(si int) bool {
 	if si < len(s.snaps) {
 		snap = s.snaps[si]
 	}
-	repl := sh // replacement state: same membership, fresh solver
+	repl := sh // replacement state: same membership, fresh worker
 	restored := false
 	if snap != nil {
-		if solver, err := s.loadShardSnapshot(snap, sh.count); err == nil {
-			repl.solver = solver
+		// The retained snapshot is the shard's persist section — the shipping
+		// unit. Under a dialer, revival re-dials a fresh worker from it; in
+		// process, it reloads the sub-solver and wraps it locally.
+		if s.cfg.WorkerDialer != nil {
+			if err := s.dialWorker(&repl, si, snap); err == nil {
+				restored = true
+			}
+		} else if solver, err := s.loadShardSnapshot(snap, sh.count); err == nil {
+			repl.attach(NewWorker(solver))
 			restored = true
 		}
 	}
@@ -343,7 +350,7 @@ func (s *Sharded) reviveShard(si int) bool {
 		// membership. Discard and retry against the new corpus.
 		return false
 	}
-	s.retireScans(s.shards[si].solver)
+	s.retireWorker(s.shards[si].w)
 	s.shards[si] = repl
 	s.healOne(si, true)
 	if !restored {
@@ -397,18 +404,17 @@ func (s *Sharded) captureSnap(i int) {
 		return
 	}
 	s.snaps[i] = nil
-	if s.shards[i].count == 0 {
+	if s.shards[i].count == 0 || !s.shards[i].caps.Snapshots {
 		return
 	}
-	p, ok := s.shards[i].solver.(mips.Persister)
-	if !ok {
+	// The worker is the source of truth: a dialed worker snapshots its own
+	// (possibly remote) state, so the retained bytes always match what the
+	// shard actually serves.
+	snap, err := s.shards[i].w.Snapshot()
+	if err != nil {
 		return
 	}
-	var buf bytes.Buffer
-	if err := p.Save(&buf); err != nil {
-		return
-	}
-	s.snaps[i] = buf.Bytes()
+	s.snaps[i] = snap
 }
 
 // dropSnap invalidates shard i's retained snapshot (the shard's sub-solver

@@ -131,10 +131,10 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 		for _, r := range rows {
 			newIDs = append(newIDs, base+r)
 		}
-		// A quarantined shard's sub-solver cannot be trusted with an
-		// in-place patch; the rebuild path below both applies the mutation
-		// and heals the shard.
-		if _, patchable := sh.solver.(mips.ItemMutator); patchable && sh.count > 0 &&
+		// A quarantined shard's worker cannot be trusted with an in-place
+		// patch; the rebuild path below both applies the mutation and heals
+		// the shard.
+		if sh.caps.Mutable && sh.count > 0 &&
 			s.cfg.Planner == nil && s.healthOf(si) == Healthy {
 			stages = append(stages, stagedShard{si: si, newIDs: newIDs, patchRows: rows})
 			continue
@@ -155,7 +155,7 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 	for _, g := range stages {
 		sh := &s.shards[g.si]
 		if g.rebuild {
-			s.retireScans(sh.solver)
+			s.retireWorker(sh.w)
 			*sh = g.st
 			s.healOne(g.si, false)
 			s.mstats.Rebuilds++
@@ -165,7 +165,7 @@ func (s *Sharded) AddItems(newItems *mat.Matrix) ([]int, error) {
 		var ids []int
 		err := guard(func() error {
 			var e error
-			ids, e = sh.solver.(mips.ItemMutator).AddItems(newItems.SelectRows(g.patchRows))
+			ids, e = sh.w.AddItems(newItems.SelectRows(g.patchRows))
 			return e
 		})
 		if err == nil && (len(ids) != len(g.patchRows) || ids[0] != sh.count) {
@@ -223,7 +223,7 @@ func (s *Sharded) repairShard(si int, newIDs []int, items *mat.Matrix, cause err
 		s.quarantine(si, cause)
 		return err
 	}
-	s.retireScans(sh.solver)
+	s.retireWorker(sh.w)
 	*sh = tmp
 	s.healOne(si, false)
 	s.captureSnap(si)
@@ -281,7 +281,7 @@ func (s *Sharded) RemoveItems(ids []int) error {
 		default:
 			// Quarantined shards take the rebuild path like unpatchable
 			// ones: it applies the removal and heals in one step.
-			if _, patchable := sh.solver.(mips.ItemMutator); !patchable ||
+			if !sh.caps.Mutable ||
 				s.cfg.Planner != nil || s.healthOf(si) != Healthy {
 				tmp := *sh
 				tmp.ids, tmp.count = newIDs, len(newIDs)
@@ -302,20 +302,20 @@ func (s *Sharded) RemoveItems(ids []int) error {
 		}
 		switch {
 		case g.dead:
-			s.retireScans(sh.solver)
-			sh.solver, sh.ids, sh.count = nil, nil, 0
+			s.retireWorker(sh.w)
+			sh.w, sh.caps, sh.ids, sh.count = nil, WorkerCaps{}, nil, 0
 			s.healOne(g.si, false) // nothing left to revive
 			s.dropSnap(g.si)
 			s.mstats.Emptied++
 		case g.rebuild:
-			s.retireScans(sh.solver)
+			s.retireWorker(sh.w)
 			*sh = g.st
 			s.healOne(g.si, false)
 			s.mstats.Rebuilds++
 			s.captureSnap(g.si)
 		case len(g.patchLocal) > 0:
 			err := guard(func() error {
-				return sh.solver.(mips.ItemMutator).RemoveItems(g.patchLocal)
+				return sh.w.RemoveItems(g.patchLocal)
 			})
 			if err != nil {
 				// Same repair-or-quarantine policy as AddItems: the commit
@@ -391,7 +391,7 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 		if err := s.buildShard(&tmp, si, s.users, sub, nil); err != nil {
 			return nil, err
 		}
-		s.retireScans(sh.solver)
+		s.retireWorker(sh.w)
 		*sh = tmp
 		s.healOne(si, false)
 		s.mstats.Rebuilds++
@@ -405,7 +405,7 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 		if sh.count == 0 {
 			continue
 		}
-		if _, ok := sh.solver.(mips.UserAdder); !ok {
+		if !sh.caps.UserAdds {
 			return nil, fmt.Errorf("shard %d (%s): sub-solver does not support AddUsers", si, sh.plan)
 		}
 	}
@@ -418,7 +418,7 @@ func (s *Sharded) AddUsers(newUsers *mat.Matrix) ([]int, error) {
 		var ids []int
 		err := guard(func() error {
 			var e error
-			ids, e = sh.solver.(mips.UserAdder).AddUsers(newUsers)
+			ids, e = sh.w.AddUsers(newUsers)
 			return e
 		})
 		if err == nil && (len(ids) != newUsers.Rows() || ids[0] != base) {
@@ -464,11 +464,11 @@ func (s *Sharded) rollbackUserBroadcast(upto int) error {
 		} else {
 			sub = subMatrix(s.items, sh.ids)
 		}
-		old := sh.solver
+		old := sh.w
 		if err := s.buildShard(sh, si, s.users, sub, nil); err != nil {
 			return err
 		}
-		s.retireScans(old)
+		s.retireWorker(old)
 	}
 	// A Planner rollback may have changed sub-solver types, so the cached
 	// composite capabilities (Batches, two-wave) are re-derived.

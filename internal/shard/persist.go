@@ -60,15 +60,16 @@ func (s *Sharded) Save(w io.Writer) error {
 		sh := &s.shards[i]
 		var nested []byte
 		if sh.count > 0 {
-			p, ok := sh.solver.(mips.Persister)
-			if !ok {
-				return fmt.Errorf("shard %d: sub-solver %s does not implement Save", i, sh.solver.Name())
+			if !sh.caps.Snapshots {
+				return fmt.Errorf("shard %d: sub-solver %s does not implement Save", i, sh.plan)
 			}
-			var buf bytes.Buffer
-			if err := p.Save(&buf); err != nil {
+			// Worker-sourced bytes: a dialed worker snapshots its own state,
+			// so the manifest always records what the shard actually serves.
+			b, err := sh.w.Snapshot()
+			if err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)
 			}
-			nested = buf.Bytes()
+			nested = b
 		}
 		pw.Section(fmt.Sprintf("shard%d", i), func(e *persist.Encoder) {
 			e.String(sh.plan)
@@ -216,7 +217,16 @@ func (s *Sharded) Load(r io.Reader) error {
 		if sz, ok := sub.(mips.Sized); ok && sz.NumItems() != sh.count {
 			return fmt.Errorf("shard %d: sub-solver holds %d items, manifest says %d", i, sz.NumItems(), sh.count)
 		}
-		sh.solver = sub
+		// Placement through the manifest: each shard section is the shipping
+		// unit, so under a dialer the worker boots from exactly these bytes
+		// (the locally reconstructed solver above served as validation).
+		if s.cfg.WorkerDialer != nil {
+			if err := s.dialWorker(sh, i, nested); err != nil {
+				return err
+			}
+		} else {
+			sh.attach(NewWorker(sub))
+		}
 		if snaps != nil {
 			snaps[i] = nested
 		}
@@ -279,10 +289,8 @@ func (s *Sharded) Load(r io.Reader) error {
 	s.normFloor = normFloor
 	s.mstats = mstats
 	for i := range s.shards {
-		if sub := s.shards[i].solver; sub != nil {
-			if ts, ok := sub.(mips.ThreadSetter); ok {
-				ts.SetThreads(s.cfg.Threads)
-			}
+		if w := s.shards[i].w; w != nil {
+			w.SetThreads(s.cfg.Threads)
 		}
 	}
 	// Restore the drift surface: fresh counters against the loaded shard

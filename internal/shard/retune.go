@@ -88,21 +88,11 @@ func (s *Sharded) resetDriftLocked() {
 func (s *Sharded) totalScans() int64 {
 	total := s.retiredScans.Load()
 	for i := range s.shards {
-		if sc, ok := s.shards[i].solver.(mips.ScanCounter); ok {
-			total += sc.ScanStats().Scanned
+		if s.shards[i].caps.Scans {
+			total += s.shards[i].w.ScanStats().Scanned
 		}
 	}
 	return total
-}
-
-// retireScans folds a sub-solver's scan counter into the composite's
-// monotone total before the solver is replaced or discarded (mutation
-// rebuilds, quarantine revival, retune commits), so scan/user drift rates
-// survive sub-solver swaps. Nil-safe; caller holds stateMu's write side.
-func (s *Sharded) retireScans(old mips.Solver) {
-	if sc, ok := old.(mips.ScanCounter); ok {
-		s.retiredScans.Add(sc.ScanStats().Scanned)
-	}
 }
 
 // Retunes reports how many adaptive re-structures have committed since
@@ -451,7 +441,7 @@ func (s *Sharded) CommitRetune(staged adapt.StagedRetune) error {
 	}
 	for i := range s.shards {
 		if s.shards[i].count > 0 {
-			s.retireScans(s.shards[i].solver)
+			s.retireWorker(s.shards[i].w)
 		}
 	}
 	s.epoch++

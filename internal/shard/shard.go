@@ -209,11 +209,22 @@ type Config struct {
 	// AutoSchedule picks the head-dominant TwoWave schedule (waves.go).
 	// 0 selects the default (DefaultAutoSkewThreshold).
 	AutoSkewThreshold float64
+	// WorkerDialer, when non-nil, places every shard behind a dialed Worker
+	// instead of the in-process one: Build snapshots each freshly built
+	// sub-solver into its persist section and dials it, Load dials the
+	// manifest's stored sections directly, and revival re-dials from the
+	// retained snapshot (or a rebuild). transport.Loopback.Dialer pins the
+	// wire path in-process; a real network dialer slots in identically. nil
+	// (the default) keeps every worker in-process with no wire hop.
+	WorkerDialer WorkerDialer
 }
 
-// shardState is one built partition.
+// shardState is one built partition. The coordinator holds no sub-solver:
+// w is the shard's Worker (in-process or dialed), and caps its capability
+// word, cached at attach so the hot path never re-probes.
 type shardState struct {
-	solver mips.Solver
+	w      Worker
+	caps   WorkerCaps
 	plan   string // strategy name chosen for this shard
 	ids    []int  // ascending global item ids; nil when contiguous
 	base   int    // first global id when contiguous
@@ -397,9 +408,7 @@ func (s *Sharded) Items() *mat.Matrix {
 func (s *Sharded) SetThreads(n int) {
 	s.cfg.Threads = parallel.Resolve(n)
 	for i := range s.shards {
-		if ts, ok := s.shards[i].solver.(mips.ThreadSetter); ok {
-			ts.SetThreads(n)
-		}
+		s.shards[i].w.SetThreads(n)
 	}
 }
 
@@ -613,14 +622,16 @@ func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix,
 			err = fmt.Errorf("shard %d: building: %w", i, &PanicError{Value: r, Stack: debug.Stack()})
 		}
 	}()
+	var solver mips.Solver
+	var plan string
 	if s.cfg.Planner != nil {
-		solver, plan, err := s.cfg.Planner.Plan(users, subItems)
+		var err error
+		solver, plan, err = s.cfg.Planner.Plan(users, subItems)
 		if err != nil {
 			return fmt.Errorf("shard %d: planning: %w", i, err)
 		}
-		sh.solver, sh.plan = solver, plan
 	} else {
-		solver := s.cfg.Factory()
+		solver = s.cfg.Factory()
 		if solver == nil {
 			return fmt.Errorf("shard %d: factory returned nil solver", i)
 		}
@@ -643,13 +654,18 @@ func (s *Sharded) buildShard(sh *shardState, i int, users, subItems *mat.Matrix,
 		if err := solver.Build(users, subItems); err != nil {
 			return fmt.Errorf("shard %d: building %s: %w", i, solver.Name(), err)
 		}
-		sh.solver, sh.plan = solver, solver.Name()
+		plan = solver.Name()
 	}
 	// The composite's thread setting governs the sub-solvers too, as
-	// Config.Threads documents.
-	if ts, ok := sh.solver.(mips.ThreadSetter); ok {
+	// Config.Threads documents. Set before any snapshot-and-dial so the
+	// shipped section reflects the aligned configuration.
+	if ts, ok := solver.(mips.ThreadSetter); ok {
 		ts.SetThreads(s.cfg.Threads)
 	}
+	if err := s.attachWorker(sh, i, solver); err != nil {
+		return err
+	}
+	sh.plan = plan
 	sh.builds++
 	return nil
 }
@@ -663,7 +679,7 @@ func (s *Sharded) refreshComposite() {
 	shards := s.shards
 	s.batches = false
 	for i := range shards {
-		if shards[i].count > 0 && shards[i].solver.Batches() {
+		if shards[i].count > 0 && shards[i].caps.Batches {
 			s.batches = true
 			break
 		}
@@ -677,7 +693,7 @@ func (s *Sharded) refreshComposite() {
 				continue
 			}
 			live++
-			if _, ok := shards[i].solver.(mips.ThresholdQuerier); !ok {
+			if !shards[i].caps.Floors {
 				floorsOK = false
 				break
 			}
@@ -719,8 +735,8 @@ func (s *Sharded) ResetScanStats() {
 	s.stateMu.RLock()
 	defer s.stateMu.RUnlock()
 	for i := range s.shards {
-		if sc, ok := s.shards[i].solver.(mips.ScanCounter); ok {
-			sc.ResetScanStats()
+		if s.shards[i].caps.Scans {
+			s.shards[i].w.ResetScanStats()
 		}
 	}
 }
@@ -738,8 +754,11 @@ func (s *Sharded) ShardScanStats() []mips.ScanStats {
 func (s *Sharded) shardScanStatsLocked() []mips.ScanStats {
 	out := make([]mips.ScanStats, len(s.shards))
 	for i := range s.shards {
-		if sc, ok := s.shards[i].solver.(mips.ScanCounter); ok {
-			out[i] = sc.ScanStats()
+		if s.shards[i].caps.Scans {
+			// Worker-reported counters: the same aggregation whether the
+			// worker is in-process or behind a transport, so ShardScanStats
+			// attribution cannot drift between the two paths.
+			out[i] = s.shards[i].w.ScanStats()
 		}
 	}
 	return out
@@ -986,41 +1005,16 @@ func (s *Sharded) queryShard(ctx context.Context, si int, userIDs []int, k int, 
 	return nil
 }
 
-// shardQuery dispatches one shard's sub-solver query under panic containment
-// (recoverShard) through the richest interface the solver and the request
-// support: QueryCtx when a deadline must propagate in-flight, the live board
-// or static floors when seeded, plain Query otherwise. At most one of floors
-// and board may be non-nil. A recovered panic leaves (nil, nil) here and its
-// typed error in sc.perr[si] — the caller folds it back in.
+// shardQuery dispatches one shard's query to its Worker under panic
+// containment (recoverShard). The worker owns the interface-richness ladder
+// (QueryCtx when a deadline must propagate in-flight, live board or static
+// floors when seeded, plain Query otherwise — see localWorker.Query); the
+// coordinator only routes. At most one of floors and board may be non-nil.
+// A recovered panic leaves (nil, nil) here and its typed error in
+// sc.perr[si] — the caller folds it back in.
 func (s *Sharded) shardQuery(ctx context.Context, sh *shardState, si int, userIDs []int, kq int, floors []float64, board *topk.FloorBoard, sc *queryScratch) (res [][]topk.Entry, err error) {
 	defer recoverShard(sc, si)
-	if ctx != nil {
-		if cq, ok := sh.solver.(mips.CancellableQuerier); ok {
-			return cq.QueryCtx(ctx, userIDs, kq, mips.QueryOptions{Floors: floors, Board: board})
-		}
-		if err := ctx.Err(); err != nil {
-			// A non-cancellable sub-solver cannot stop mid-flight; at
-			// least do not start past the deadline.
-			return nil, err
-		}
-	}
-	switch {
-	case board != nil:
-		if lq, ok := sh.solver.(mips.LiveFloorQuerier); ok {
-			return lq.QueryWithFloorBoard(userIDs, kq, board)
-		}
-		if tq, ok := sh.solver.(mips.ThresholdQuerier); ok {
-			return tq.QueryWithFloors(userIDs, kq, board.Snapshot(nil))
-		}
-		return sh.solver.Query(userIDs, kq)
-	case floors != nil:
-		if tq, ok := sh.solver.(mips.ThresholdQuerier); ok {
-			return tq.QueryWithFloors(userIDs, kq, floors)
-		}
-		return sh.solver.Query(userIDs, kq)
-	default:
-		return sh.solver.Query(userIDs, kq)
-	}
+	return sh.w.Query(ctx, userIDs, kq, floors, board)
 }
 
 // fillCoverage derives the partial-mode Coverage report from the fan-out's

@@ -1,0 +1,92 @@
+package topk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Entry wire codec: the fixed little-endian framing transport replies use to
+// carry ranked result rows. Each entry is 16 bytes (uint64 item id, float64
+// score bits); a row is a uint32 count followed by its entries; a row set is
+// a uint32 row count followed by its rows. Scores travel as raw bit patterns,
+// so a decoded ranking is bit-for-bit the ranking that was encoded — the
+// loopback equivalence matrix depends on that exactness.
+
+// maxWireRows bounds every decoded count so a corrupt frame cannot force a
+// giant allocation; the per-read length checks still apply underneath.
+const maxWireRows = 1 << 30
+
+// AppendRow appends one ranked row to dst and returns the extended slice.
+func AppendRow(dst []byte, row []Entry) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(row)))
+	for _, e := range row {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Item))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Score))
+	}
+	return dst
+}
+
+// DecodeRow decodes one row from data, returning the row, the number of
+// bytes consumed, and any framing error. An encoded empty row decodes as nil.
+func DecodeRow(data []byte) ([]Entry, int, error) {
+	if len(data) < 4 {
+		return nil, 0, fmt.Errorf("topk: row header truncated: %d bytes", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n > maxWireRows {
+		return nil, 0, fmt.Errorf("topk: row count %d out of range", n)
+	}
+	need := 4 + 16*int(n)
+	if len(data) < need {
+		return nil, 0, fmt.Errorf("topk: row truncated: want %d bytes, have %d", need, len(data))
+	}
+	if n == 0 {
+		return nil, 4, nil
+	}
+	row := make([]Entry, n)
+	for i := range row {
+		off := 4 + 16*i
+		item := binary.LittleEndian.Uint64(data[off:])
+		if item > math.MaxInt64 {
+			return nil, 0, fmt.Errorf("topk: item id %d out of range", item)
+		}
+		row[i] = Entry{
+			Item:  int(item),
+			Score: math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+		}
+	}
+	return row, need, nil
+}
+
+// AppendRows appends a row set (uint32 row count, then each row) to dst.
+func AppendRows(dst []byte, rows [][]Entry) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rows)))
+	for _, row := range rows {
+		dst = AppendRow(dst, row)
+	}
+	return dst
+}
+
+// DecodeRows decodes a row set from data, returning the rows, the number of
+// bytes consumed, and any framing error.
+func DecodeRows(data []byte) ([][]Entry, int, error) {
+	if len(data) < 4 {
+		return nil, 0, fmt.Errorf("topk: row-set header truncated: %d bytes", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n > maxWireRows {
+		return nil, 0, fmt.Errorf("topk: row-set count %d out of range", n)
+	}
+	pos := 4
+	rows := make([][]Entry, n)
+	for i := range rows {
+		row, used, err := DecodeRow(data[pos:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("row %d: %w", i, err)
+		}
+		rows[i] = row
+		pos += used
+	}
+	return rows, pos, nil
+}

@@ -59,6 +59,7 @@ import (
 	"optimus/internal/serving"
 	"optimus/internal/shard"
 	"optimus/internal/topk"
+	"optimus/internal/transport"
 )
 
 // SetThreads sets the process-wide default parallelism used by every solver
@@ -364,6 +365,44 @@ const (
 // ShardHealth is one shard's health record: state, quarantine cause, and
 // completed-revival count.
 type ShardHealth = shard.ShardHealth
+
+// ShardWorker is the execution surface the sharded coordinator drives: one
+// shard's query/mutate/snapshot/stats contract. The coordinator never
+// touches a sub-solver directly — in-process shards are wrapped by
+// NewShardWorker, remote shards arrive through a ShardWorkerDialer.
+type ShardWorker = shard.Worker
+
+// ShardWorkerCaps declares which optional surfaces a worker supports; the
+// coordinator consults it instead of type-asserting, so capability loss
+// across a wire (e.g. no live floor boards) degrades schedules gracefully.
+type ShardWorkerCaps = shard.WorkerCaps
+
+// ShardWorkerDialer connects shard index i to its worker during Build/Load,
+// receiving the shard's persisted snapshot section so a remote worker can
+// boot its sub-solver from it. Set it on ShardedConfig.WorkerDialer; nil
+// keeps every shard in-process.
+type ShardWorkerDialer = shard.WorkerDialer
+
+// NewShardWorker wraps a sub-solver as an in-process ShardWorker — the same
+// adapter the coordinator uses for local shards, and the loopback
+// transport's server side.
+func NewShardWorker(s Solver) ShardWorker { return shard.NewWorker(s) }
+
+// LoopbackTransport dials workers through the full wire codec in-process:
+// every coordinator↔worker exchange is encoded, framed, and decoded exactly
+// as it would be across a network, with zero transport latency — the
+// serialization-faithful harness the equivalence and fault-injection suites
+// pin the wire path against. Its Wrap hook interposes on each shard's
+// connection (fault injection); Stats meters dials, calls, and bytes.
+type LoopbackTransport = transport.Loopback
+
+// NewLoopbackTransport returns a loopback transport; pass Dialer() to
+// ShardedConfig.WorkerDialer.
+func NewLoopbackTransport() *LoopbackTransport { return transport.NewLoopback() }
+
+// TransportStats counts a transport's worker dials, request/reply
+// exchanges, and bytes moved each way.
+type TransportStats = transport.Stats
 
 // ServerConfig configures the micro-batching request server.
 type ServerConfig = serving.Config
